@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure of the paper via the corresponding
+driver in ``repro.experiments``, times it with pytest-benchmark, prints the
+resulting table (run ``pytest benchmarks/ --benchmark-only -s`` to see them),
+and asserts the figure's qualitative shape so a regression in the algorithms
+fails the benchmark run, not just the timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Execute ``function`` exactly once under pytest-benchmark timing.
+
+    The experiment drivers are deterministic simulations, so a single round
+    is enough; this keeps the full benchmark suite fast while still recording
+    wall-clock timings for every figure.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print an experiment result table beneath the benchmark output."""
+
+    def _show(result):
+        print()
+        print(result.to_table())
+        return result
+
+    return _show

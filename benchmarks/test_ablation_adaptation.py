@@ -1,0 +1,62 @@
+"""Ablation benchmark: which AdaptDB ingredient buys how much?
+
+DESIGN.md calls out two design choices on top of the Amoeba substrate —
+(1) hyper-join instead of shuffle join, and (2) smooth repartitioning of the
+join attribute into the trees.  This ablation runs the same q12 workload
+under four configurations and records the total modelled cost of each, so the
+contribution of every ingredient is visible:
+
+* Full Scan                 (no pruning, no adaptation, shuffle joins)
+* Amoeba                    (selection adaptation only, shuffle joins)
+* AdaptDB w/ shuffle joins  (join-aware partitioning, shuffle joins)
+* AdaptDB                   (join-aware partitioning + hyper-join)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AdaptDBRunner,
+    AdaptDBShuffleOnlyRunner,
+    AmoebaBaseline,
+    FullScanBaseline,
+)
+from repro.common.rng import make_rng
+from repro.core import AdaptDBConfig
+from repro.workloads import TPCHGenerator, tpch_query
+
+RUNNERS = {
+    "full_scan": FullScanBaseline,
+    "amoeba": AmoebaBaseline,
+    "adaptdb_shuffle": AdaptDBShuffleOnlyRunner,
+    "adaptdb": AdaptDBRunner,
+}
+
+
+@pytest.fixture(scope="module")
+def workload_setup():
+    tables = list(TPCHGenerator(scale=0.1, seed=5).generate(["lineitem", "orders"]).values())
+    rng = make_rng(13)
+    queries = [tpch_query("q12", rng) for _ in range(12)]
+    config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=5)
+    return tables, queries, config
+
+
+@pytest.mark.parametrize("name", list(RUNNERS))
+def test_adaptation_ablation(benchmark, workload_setup, name):
+    tables, queries, config = workload_setup
+    runner_cls = RUNNERS[name]
+
+    def run():
+        if runner_cls in (AdaptDBRunner, AdaptDBShuffleOnlyRunner, AmoebaBaseline, FullScanBaseline):
+            runner = runner_cls(tables, config)
+        return runner.run_workload(queries)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    total_cost = sum(result.cost_units for result in results)
+    benchmark.extra_info["total_cost_units"] = round(total_cost, 1)
+    benchmark.extra_info["steady_state_cost"] = round(
+        sum(result.cost_units for result in results[-3:]), 1
+    )
+    assert all(result.output_rows == results[0].output_rows for result in results[:1])

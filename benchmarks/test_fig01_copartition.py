@@ -1,0 +1,15 @@
+"""Benchmark for Figure 1: shuffle join vs co-partitioned join."""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_copartition
+
+from conftest import run_once
+
+
+def test_fig01_copartition(benchmark, show):
+    result = run_once(benchmark, fig01_copartition.run, scale=0.25, rows_per_block=512)
+    show(result)
+    shuffle, hyper = result.series_by_label("runtime").y
+    assert hyper < shuffle, "co-partitioned join must beat shuffle join"
+    assert result.notes["speedup"] >= 1.5, "paper reports roughly 2x"

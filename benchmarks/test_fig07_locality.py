@@ -1,0 +1,15 @@
+"""Benchmark for Figure 7: scan response time vs data locality."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_locality
+
+from conftest import run_once
+
+
+def test_fig07_locality(benchmark, show):
+    result = run_once(benchmark, fig07_locality.run, scale=0.25)
+    show(result)
+    times = result.series_by_label("response_time").y
+    assert times == sorted(times), "lower locality must never be faster"
+    assert times[-1] / times[0] < 1.20, "paper: ~18% slowdown at 27% locality"

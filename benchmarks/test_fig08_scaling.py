@@ -1,0 +1,15 @@
+"""Benchmark for Figure 8: shuffle-join runtime vs dataset size."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_scaling
+
+from conftest import run_once
+
+
+def test_fig08_dataset_scaling(benchmark, show):
+    result = run_once(benchmark, fig08_scaling.run, scale=0.3)
+    show(result)
+    times = result.series_by_label("running_time").y
+    assert times == sorted(times), "bigger datasets must take longer"
+    assert result.notes["linear_fit_r_squared"] > 0.95, "paper: runtime grows linearly"

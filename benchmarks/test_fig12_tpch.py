@@ -1,0 +1,28 @@
+"""Benchmark for Figure 12: per-template TPC-H comparison of the four systems."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_tpch
+
+from conftest import run_once
+
+
+def test_fig12_tpch_per_template(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig12_tpch.run,
+        scale=0.12,
+        warmup_queries=10,
+        measured_queries=3,
+    )
+    show(result)
+
+    hyper = result.series_by_label("AdaptDB w/ Hyper-Join").y
+    shuffle = result.series_by_label("AdaptDB w/ Shuffle Join").y
+    amoeba = result.series_by_label("Amoeba").y
+    pref = result.series_by_label("Predicate-based Reference Partitioning").y
+
+    assert all(h < s for h, s in zip(hyper, shuffle)), "hyper-join wins every template"
+    assert all(h < a for h, a in zip(hyper, amoeba)), "AdaptDB beats Amoeba everywhere"
+    assert all(h < p for h, p in zip(hyper, pref)), "AdaptDB beats PREF everywhere"
+    assert result.notes["mean_speedup_vs_shuffle"] >= 1.3, "paper reports 1.60x on average"

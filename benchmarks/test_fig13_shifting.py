@@ -1,0 +1,21 @@
+"""Benchmark for Figure 13(b): the shifting workload."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_adaptation
+
+from conftest import run_once
+
+
+def test_fig13b_shifting_workload(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig13_adaptation.run_shifting,
+        scale=0.1,
+        transition_length=8,
+    )
+    show(result)
+    assert result.notes["improvement_vs_full_scan"] > 1.3, "paper: roughly 2x over full scan"
+    assert (
+        result.notes["repartitioning_max_spike"] >= result.notes["adaptdb_max_spike"]
+    ), "AdaptDB spreads repartitioning cost over more queries"

@@ -1,0 +1,21 @@
+"""Benchmark for Figure 13(a): the switching workload."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_adaptation
+
+from conftest import run_once
+
+
+def test_fig13a_switching_workload(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig13_adaptation.run_switching,
+        scale=0.1,
+        queries_per_template=8,
+    )
+    show(result)
+    assert result.notes["improvement_vs_full_scan"] > 1.5, "paper: ~2x or better over full scan"
+    assert (
+        result.notes["repartitioning_max_spike"] > result.notes["adaptdb_max_spike"]
+    ), "smooth repartitioning must flatten the reorganization spikes"

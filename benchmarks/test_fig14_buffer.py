@@ -1,0 +1,23 @@
+"""Benchmark for Figure 14: hyper-join memory buffer sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import fig14_buffer
+
+from conftest import run_once
+
+
+def test_fig14_memory_buffer(benchmark, show):
+    result = run_once(
+        benchmark, fig14_buffer.run, scale=0.25, rows_per_block=256,
+        buffer_sizes=[1, 2, 4, 8, 16, 32],
+    )
+    show(result)
+    blocks = result.series_by_label("orders_blocks_read").y
+    times = result.series_by_label("running_time").y
+    assert blocks == sorted(blocks, reverse=True), "bigger buffers never read more probe blocks"
+    assert times == sorted(times, reverse=True), "runtime improves with buffer size"
+    # The improvement flattens out: the last doubling helps far less than the first.
+    first_gain = blocks[0] - blocks[1]
+    last_gain = blocks[-2] - blocks[-1]
+    assert last_gain <= first_gain, "paper: benefit saturates at large buffers"

@@ -1,0 +1,15 @@
+"""Benchmark for Figure 15: query-window size sensitivity."""
+
+from __future__ import annotations
+
+from repro.experiments import fig15_window
+
+from conftest import run_once
+
+
+def test_fig15_window_size(benchmark, show):
+    result = run_once(benchmark, fig15_window.run, scale=0.1, window_sizes=[5, 35])
+    show(result)
+    assert (
+        result.notes["last_adaptation_w5"] <= result.notes["last_adaptation_w35"]
+    ), "a smaller window converges (stops repartitioning) sooner"

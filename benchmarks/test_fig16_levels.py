@@ -1,0 +1,30 @@
+"""Benchmark for Figure 16: levels reserved for the join attribute."""
+
+from __future__ import annotations
+
+from repro.experiments import fig16_levels
+
+from conftest import run_once
+
+
+def test_fig16a_with_predicates(benchmark, show):
+    result = run_once(
+        benchmark, fig16_levels.run, scale=0.2, rows_per_block=128, with_predicates=True
+    )
+    show(result)
+    # With selective predicates the best layout keeps some levels for selections:
+    # the minimum must not require *every* orders level on the join attribute,
+    # and reserving zero levels is never optimal either.
+    assert result.notes["min_at_orders_levels"] > 0
+    assert result.notes["min_at_orders_levels"] <= result.notes["max_orders_levels"]
+
+
+def test_fig16b_without_predicates(show, benchmark):
+    result = run_once(
+        benchmark, fig16_levels.run, scale=0.2, rows_per_block=128, with_predicates=False
+    )
+    show(result)
+    # Without predicates, more join levels never hurt: every series ends at or
+    # below its zero-join-level starting point (the paper's monotone trend).
+    for series in result.series:
+        assert series.y[-1] <= series.y[0]

@@ -1,0 +1,27 @@
+"""Benchmark for Figure 17: ILP-optimal vs approximate block grouping."""
+
+from __future__ import annotations
+
+from repro.experiments import fig17_ilp
+
+from conftest import run_once
+
+
+def test_fig17_ilp_vs_approximate(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig17_ilp.run,
+        scale=0.15,
+        lineitem_blocks=64,
+        orders_blocks=16,
+        buffer_sizes=[8, 16, 32, 64],
+        ilp_time_limit_seconds=15,
+    )
+    show(result)
+    assert result.notes["max_approx_to_ilp_ratio"] <= 1.6, (
+        "the approximate grouping stays close to the (time-limited) ILP solution"
+    )
+    ilp_ms = result.series_by_label("ILP runtime (ms)").y
+    approx_ms = result.series_by_label("Approximate runtime (ms)").y
+    assert max(approx_ms) < 100, "paper: the approximate optimizer runs in about a millisecond"
+    assert max(ilp_ms) > 10 * max(approx_ms), "the ILP is orders of magnitude slower"

@@ -1,0 +1,21 @@
+"""Benchmark for Figure 18: the CMT real-workload trace."""
+
+from __future__ import annotations
+
+from repro.experiments import fig18_cmt
+
+from conftest import run_once
+
+
+def test_fig18_cmt_trace(benchmark, show):
+    result = run_once(benchmark, fig18_cmt.run, scale=0.1, num_queries=103)
+    show(result)
+    assert result.notes["improvement_vs_full_scan"] > 1.5, (
+        "paper: AdaptDB roughly halves total runtime vs full scan"
+    )
+    assert (
+        result.notes["repartitioning_max_spike"] >= result.notes["adaptdb_max_spike"]
+    ), "full repartitioning pays one huge spike; AdaptDB does not"
+    assert result.notes["adaptdb_total"] <= 2.0 * result.notes["fixed_total"], (
+        "AdaptDB converges towards the hand-tuned layout"
+    )

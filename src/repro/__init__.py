@@ -1,0 +1,45 @@
+"""repro — a reproduction of *AdaptDB: Adaptive Partitioning for Distributed Joins* (VLDB 2017).
+
+The package implements the full AdaptDB stack on top of a simulated
+cluster/HDFS substrate:
+
+* ``repro.common``        — schemas, predicates, queries, deterministic RNG
+* ``repro.cluster``       — simulated machines and the analytical cost model
+* ``repro.storage``       — blocks, the distributed file system, tables, catalog
+* ``repro.partitioning``  — Amoeba upfront trees and AdaptDB two-phase trees
+* ``repro.adaptive``      — query window, smooth repartitioning, Amoeba refinement
+* ``repro.join``          — hyper-join (overlap, grouping heuristics, ILP) and shuffle join
+* ``repro.core``          — optimizer, planner, executor, and the :class:`AdaptDB` facade
+* ``repro.workloads``     — TPC-H and CMT generators plus the paper's workload patterns
+* ``repro.baselines``     — Full Scan, full repartitioning, Amoeba-only, PREF, hand-tuned
+* ``repro.experiments``   — one driver per figure of the paper's evaluation
+"""
+
+from .common import (
+    JoinClause,
+    Predicate,
+    Query,
+    ReproError,
+    Schema,
+    join_query,
+    scan_query,
+)
+from .core import AdaptDB, AdaptDBConfig, QueryResult
+from .storage import ColumnTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptDB",
+    "AdaptDBConfig",
+    "ColumnTable",
+    "JoinClause",
+    "Predicate",
+    "Query",
+    "QueryResult",
+    "ReproError",
+    "Schema",
+    "__version__",
+    "join_query",
+    "scan_query",
+]

@@ -1,0 +1,18 @@
+"""Adaptive repartitioning: query window, smooth repartitioning, Amoeba refinement."""
+
+from .amoeba import AmoebaAdaptationStats, AmoebaAdaptor, TransformCandidate
+from .repartitioner import AdaptiveRepartitioner, RepartitionReport
+from .smooth import SmoothPlan, SmoothRepartitioner
+from .window import DEFAULT_WINDOW_SIZE, QueryWindow
+
+__all__ = [
+    "AdaptiveRepartitioner",
+    "AmoebaAdaptationStats",
+    "AmoebaAdaptor",
+    "DEFAULT_WINDOW_SIZE",
+    "QueryWindow",
+    "RepartitionReport",
+    "SmoothPlan",
+    "SmoothRepartitioner",
+    "TransformCandidate",
+]

@@ -1,0 +1,261 @@
+"""Amoeba's selection-driven adaptive repartitioning (Section 3.2).
+
+After each query, Amoeba considers alternative partitioning trees obtained by
+applying local transformation rules — merge two sibling blocks currently
+split on attribute ``A`` and re-split them on attribute ``B`` — and switches
+to the alternative that maximizes total benefit over the query window, where
+benefit is the estimated reduction in blocks read minus the repartitioning
+cost.
+
+AdaptDB keeps this mechanism for the *lower* (selection) levels of its trees;
+the join levels at the top are managed by smooth repartitioning instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.predicates import Predicate
+from ..partitioning.builders import median_cutpoint
+from ..partitioning.tree import PartitioningTree, TreeNode
+from ..storage.table import StoredTable
+from .window import QueryWindow
+
+
+@dataclass
+class TransformCandidate:
+    """One candidate transformation of a partitioning tree.
+
+    Attributes:
+        tree_id: Tree the transformation applies to.
+        node: The internal node (parent of two leaves) to re-split.
+        new_attribute: Attribute the node would be re-split on.
+        new_cutpoint: Cutpoint for the new split.
+        benefit: Estimated blocks saved over the window, minus the
+            repartitioning cost (in block accesses).
+    """
+
+    tree_id: int
+    node: TreeNode
+    new_attribute: str
+    new_cutpoint: float
+    benefit: float
+
+
+@dataclass
+class AmoebaAdaptationStats:
+    """Work performed by one adaptation step."""
+
+    transforms_applied: int = 0
+    blocks_repartitioned: int = 0
+    rows_moved: int = 0
+
+
+@dataclass
+class AmoebaAdaptor:
+    """Selection-driven refinement of the lower levels of partitioning trees.
+
+    Attributes:
+        repartition_cost_per_block: Cost (in block accesses) charged for
+            rewriting one block, used in the benefit computation.
+        max_transforms_per_query: Upper bound on transformations applied per
+            incoming query; keeps adaptation incremental.
+        benefit_threshold: Minimum net benefit required to apply a transform.
+    """
+
+    repartition_cost_per_block: float = 2.5
+    max_transforms_per_query: int = 1
+    benefit_threshold: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Candidate generation
+    # ------------------------------------------------------------------ #
+    def candidate_transforms(
+        self, table: StoredTable, window: QueryWindow
+    ) -> list[TransformCandidate]:
+        """Enumerate bottom-level re-split candidates driven by window predicates."""
+        predicate_counts = window.predicate_attribute_counts(table.name)
+        hot_attributes = [
+            attribute
+            for attribute, _ in sorted(predicate_counts.items(), key=lambda item: -item[1])
+            if attribute in table.sample
+        ]
+        if not hot_attributes:
+            return []
+
+        window_queries = window.queries_on(table.name)
+        candidates: list[TransformCandidate] = []
+        for tree_id, tree in table.trees.items():
+            for node, bounds in _bottom_internal_nodes(tree):
+                if tree.join_attribute is not None and node.attribute == tree.join_attribute:
+                    # Never down-grade a join-attribute split into a selection
+                    # split: the join levels are managed by smooth repartitioning.
+                    continue
+                for attribute in hot_attributes:
+                    if attribute == node.attribute:
+                        continue
+                    cutpoint = self._cutpoint_for(table, attribute, bounds)
+                    if cutpoint is None:
+                        continue
+                    benefit = self._estimate_benefit(
+                        table, tree, node, attribute, cutpoint, window_queries
+                    )
+                    if benefit > self.benefit_threshold:
+                        candidates.append(
+                            TransformCandidate(
+                                tree_id=tree_id,
+                                node=node,
+                                new_attribute=attribute,
+                                new_cutpoint=cutpoint,
+                                benefit=benefit,
+                            )
+                        )
+        candidates.sort(key=lambda candidate: -candidate.benefit)
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Adaptation
+    # ------------------------------------------------------------------ #
+    def adapt(self, table: StoredTable, window: QueryWindow) -> AmoebaAdaptationStats:
+        """Apply the best beneficial transformations (at most ``max_transforms_per_query``)."""
+        stats = AmoebaAdaptationStats()
+        candidates = self.candidate_transforms(table, window)
+        applied_nodes: set[int] = set()
+        for candidate in candidates:
+            if stats.transforms_applied >= self.max_transforms_per_query:
+                break
+            if id(candidate.node) in applied_nodes:
+                continue
+            moved = self._apply(table, candidate)
+            applied_nodes.add(id(candidate.node))
+            stats.transforms_applied += 1
+            stats.blocks_repartitioned += 2
+            stats.rows_moved += moved
+        return stats
+
+    def _apply(self, table: StoredTable, candidate: TransformCandidate) -> int:
+        """Re-split one bottom-level node and redistribute its two blocks' rows."""
+        node = candidate.node
+        assert node.left is not None and node.right is not None
+        left_id = node.left.block_id
+        right_id = node.right.block_id
+        if left_id is None or right_id is None:
+            return 0
+
+        left_block = table.dfs.peek_block(left_id)
+        right_block = table.dfs.peek_block(right_id)
+        merged = {
+            name: np.concatenate([left_block.columns[name], right_block.columns[name]])
+            for name in left_block.columns
+        }
+        rows_moved = len(next(iter(merged.values()))) if merged else 0
+
+        node.attribute = candidate.new_attribute
+        node.cutpoint = candidate.new_cutpoint
+
+        values = merged.get(candidate.new_attribute)
+        if values is None or rows_moved == 0:
+            return 0
+        goes_left = values <= candidate.new_cutpoint
+        table.dfs.peek_block(left_id).columns = {
+            name: array[goes_left] for name, array in merged.items()
+        }
+        table.dfs.peek_block(right_id).columns = {
+            name: array[~goes_left] for name, array in merged.items()
+        }
+        for block_id in (left_id, right_id):
+            block = table.dfs.peek_block(block_id)
+            block.ranges = {
+                name: (float(array.min()), float(array.max()))
+                for name, array in block.columns.items()
+                if len(array)
+            }
+            block.size_bytes = int(sum(array.nbytes for array in block.columns.values()))
+        return rows_moved
+
+    # ------------------------------------------------------------------ #
+    # Benefit estimation
+    # ------------------------------------------------------------------ #
+    def _estimate_benefit(
+        self,
+        table: StoredTable,
+        tree: PartitioningTree,
+        node: TreeNode,
+        attribute: str,
+        cutpoint: float,
+        window_queries,
+    ) -> float:
+        """Blocks saved over the window if ``node`` were re-split on ``attribute``."""
+        assert node.left is not None and node.right is not None
+        saved = 0.0
+        for query in window_queries:
+            predicates = query.predicates_on(table.name)
+            if not predicates:
+                continue
+            current = self._blocks_touched(node, node.attribute, node.cutpoint, predicates)
+            proposed = self._blocks_touched(node, attribute, cutpoint, predicates)
+            saved += current - proposed
+        return saved - self.repartition_cost_per_block * 2
+
+    @staticmethod
+    def _blocks_touched(
+        node: TreeNode, attribute: str | None, cutpoint: float | None, predicates: list[Predicate]
+    ) -> int:
+        """How many of the node's two leaf blocks the predicates must read."""
+        if attribute is None or cutpoint is None:
+            return 2
+        relevant = [predicate for predicate in predicates if predicate.column == attribute]
+        if not relevant:
+            return 2
+        touched = 0
+        if all(predicate.may_match_range(-math.inf, cutpoint) for predicate in relevant):
+            touched += 1
+        if all(predicate.may_match_range(cutpoint, math.inf) for predicate in relevant):
+            touched += 1
+        return max(touched, 0)
+
+    def _cutpoint_for(
+        self, table: StoredTable, attribute: str, bounds: dict[str, tuple[float, float]]
+    ) -> float | None:
+        """Median of ``attribute`` in the table sample, restricted to ``bounds``."""
+        sample = table.sample
+        if attribute not in sample or len(sample[attribute]) == 0:
+            return None
+        mask = np.ones(len(sample[attribute]), dtype=bool)
+        for bounded_attribute, (lo, hi) in bounds.items():
+            if bounded_attribute in sample:
+                values = sample[bounded_attribute]
+                mask &= (values >= lo) & (values <= hi)
+        subset = sample[attribute][mask]
+        if len(subset) < 2:
+            subset = sample[attribute]
+        return median_cutpoint(subset)
+
+
+def _bottom_internal_nodes(
+    tree: PartitioningTree,
+) -> list[tuple[TreeNode, dict[str, tuple[float, float]]]]:
+    """Internal nodes whose two children are both leaves, with their path bounds."""
+    result: list[tuple[TreeNode, dict[str, tuple[float, float]]]] = []
+
+    def descend(node: TreeNode, bounds: dict[str, tuple[float, float]]) -> None:
+        if node.is_leaf:
+            return
+        assert node.left is not None and node.right is not None
+        if node.left.is_leaf and node.right.is_leaf:
+            result.append((node, dict(bounds)))
+            return
+        assert node.attribute is not None and node.cutpoint is not None
+        lo, hi = bounds.get(node.attribute, (-math.inf, math.inf))
+        left_bounds = dict(bounds)
+        left_bounds[node.attribute] = (lo, min(hi, node.cutpoint))
+        right_bounds = dict(bounds)
+        right_bounds[node.attribute] = (max(lo, node.cutpoint), hi)
+        descend(node.left, left_bounds)
+        descend(node.right, right_bounds)
+
+    descend(tree.root, {})
+    return result

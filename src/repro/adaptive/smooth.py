@@ -1,0 +1,164 @@
+"""Smooth repartitioning (Section 5.2, Figure 11).
+
+A table keeps one partitioning tree per popular join attribute.  When a
+query arrives whose join attribute matches a (new or existing) tree, AdaptDB
+compares the fraction of window queries using that attribute with the
+fraction of the table's data already stored under that tree, and migrates the
+difference — a small number of randomly chosen blocks — from the other trees.
+Repartitioning therefore happens a little at a time rather than as one huge
+reorganization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.query import Query
+from ..common.rng import make_rng
+from ..partitioning.two_phase import TwoPhasePartitioner
+from ..storage.table import RepartitionStats, StoredTable
+from .window import QueryWindow
+
+DEFAULT_MIN_FREQUENCY = 1
+
+
+@dataclass
+class SmoothPlan:
+    """What smooth repartitioning decided to do for one table and one query.
+
+    Attributes:
+        table: Table the plan applies to.
+        join_attribute: Join attribute of the incoming query on this table.
+        created_tree_id: Id of a newly created two-phase tree, if any.
+        blocks_to_move: Source blocks that will be migrated this query.
+        fraction: The paper's ``p`` (fraction of the data to migrate).
+    """
+
+    table: str
+    join_attribute: str | None = None
+    created_tree_id: int | None = None
+    blocks_to_move: list[int] = field(default_factory=list)
+    fraction: float = 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the plan performs no repartitioning work."""
+        return self.created_tree_id is None and not self.blocks_to_move
+
+
+@dataclass
+class SmoothRepartitioner:
+    """Implements the smooth repartitioning algorithm of Figure 11.
+
+    Attributes:
+        rows_per_block: Target block size used when building new trees.
+        join_level_fraction: Fraction of tree levels reserved for the join
+            attribute in newly created two-phase trees.
+        min_frequency: Minimum number of window queries with a new join
+            attribute before a tree is created for it (the paper's ``fmin``).
+        rng: Random generator used to pick the blocks to migrate.
+    """
+
+    rows_per_block: int = 4096
+    join_level_fraction: float = 0.5
+    min_frequency: int = DEFAULT_MIN_FREQUENCY
+    join_levels_override: int | None = None
+    rng: np.random.Generator = field(default_factory=make_rng)
+
+    # ------------------------------------------------------------------ #
+    # Decision
+    # ------------------------------------------------------------------ #
+    def plan(self, table: StoredTable, query: Query, window: QueryWindow) -> SmoothPlan:
+        """Decide how much of ``table`` to migrate in response to ``query``.
+
+        The query must already be part of ``window`` (the algorithm in
+        Figure 11 adds the query to the window first).
+        """
+        join_attribute = query.join_attribute(table.name)
+        plan = SmoothPlan(table=table.name, join_attribute=join_attribute)
+        if join_attribute is None:
+            return plan
+
+        # The paper's |W| is the configured window length, not the number of
+        # queries seen so far — a cold-started system therefore migrates
+        # 1/|W| of the data on the first query rather than all of it.
+        window_size = max(window.size, 1)
+        matching = window.count_join_attribute(table.name, join_attribute)
+        target_tree_id = table.tree_for_join_attribute(join_attribute)
+
+        if target_tree_id is None:
+            if matching < self.min_frequency:
+                return plan
+            target_tree_id = self._create_tree(table, join_attribute, window)
+            plan.created_tree_id = target_tree_id
+            plan.fraction = matching / window_size
+        else:
+            rows_total = table.total_rows
+            rows_in_target = table.rows_under_tree(target_tree_id)
+            data_fraction = rows_in_target / rows_total if rows_total else 0.0
+            plan.fraction = matching / window_size - data_fraction
+            if plan.fraction <= 0:
+                return plan
+
+        plan.blocks_to_move = self._choose_blocks(table, target_tree_id, plan.fraction)
+        return plan
+
+    def apply(self, table: StoredTable, plan: SmoothPlan) -> RepartitionStats:
+        """Migrate the blocks selected by ``plan`` and return the work done."""
+        if plan.is_noop or not plan.blocks_to_move:
+            return RepartitionStats()
+        target_attribute = plan.join_attribute
+        assert target_attribute is not None
+        target_tree_id = table.tree_for_join_attribute(target_attribute)
+        if target_tree_id is None:
+            return RepartitionStats()
+        stats = table.move_blocks(plan.blocks_to_move, target_tree_id)
+        table.drop_empty_trees()
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _create_tree(self, table: StoredTable, join_attribute: str, window: QueryWindow) -> int:
+        """Create a new, initially empty, two-phase tree for ``join_attribute``."""
+        selection_counts = window.predicate_attribute_counts(table.name)
+        selection_attributes = [
+            attribute
+            for attribute, _ in sorted(selection_counts.items(), key=lambda item: -item[1])
+            if attribute in table.sample and attribute != join_attribute
+        ]
+        if not selection_attributes:
+            selection_attributes = [
+                name for name in table.sample if name != join_attribute
+            ]
+        partitioner = TwoPhasePartitioner(
+            join_attribute=join_attribute,
+            selection_attributes=selection_attributes,
+            rows_per_block=self.rows_per_block,
+            join_level_fraction=self.join_level_fraction,
+        )
+        num_leaves = max(1, math.ceil(max(table.total_rows, 1) / self.rows_per_block))
+        tree = partitioner.build(
+            table.sample,
+            total_rows=table.total_rows,
+            num_leaves=num_leaves,
+            join_levels=self.join_levels_override,
+        )
+        return table.add_empty_tree(tree)
+
+    def _choose_blocks(self, table: StoredTable, target_tree_id: int, fraction: float) -> list[int]:
+        """Randomly pick source blocks totalling ``fraction`` of the table's data."""
+        candidates = [
+            block_id
+            for block_id in table.non_empty_block_ids()
+            if table.tree_of_block(block_id) != target_tree_id
+        ]
+        if not candidates or fraction <= 0:
+            return []
+        total_blocks = len(table.non_empty_block_ids())
+        count = min(len(candidates), max(1, round(fraction * total_blocks)))
+        chosen = self.rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[int(index)] for index in chosen]

@@ -1,0 +1,82 @@
+"""The query window (Sections 3.2 and 5.2).
+
+AdaptDB keeps the most recent ``|W|`` queries.  The window drives every
+adaptation decision: the fraction of queries using each join attribute
+determines how much data each partitioning tree should hold (smooth
+repartitioning), and the selection attributes seen in the window drive
+Amoeba-style refinement of the lower tree levels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..common.errors import PlanningError
+from ..common.query import Query
+
+DEFAULT_WINDOW_SIZE = 10
+
+
+@dataclass
+class QueryWindow:
+    """A bounded FIFO of recent queries.
+
+    Attributes:
+        size: Maximum number of queries retained (the paper's ``|W|``).
+    """
+
+    size: int = DEFAULT_WINDOW_SIZE
+    _queries: deque = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise PlanningError("query window size must be at least 1")
+        self._queries = deque(maxlen=self.size)
+
+    def add(self, query: Query) -> None:
+        """Append a query, evicting the oldest if the window is full."""
+        self._queries.append(query)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self):
+        return iter(self._queries)
+
+    @property
+    def queries(self) -> list[Query]:
+        """Queries currently in the window, oldest first."""
+        return list(self._queries)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates used by the adaptors
+    # ------------------------------------------------------------------ #
+    def join_attribute_counts(self, table: str) -> dict[str, int]:
+        """How many window queries join ``table`` on each attribute."""
+        counts: dict[str, int] = {}
+        for query in self._queries:
+            attribute = query.join_attribute(table)
+            if attribute is not None:
+                counts[attribute] = counts.get(attribute, 0) + 1
+        return counts
+
+    def count_join_attribute(self, table: str, attribute: str) -> int:
+        """Number of window queries joining ``table`` on ``attribute``."""
+        return self.join_attribute_counts(table).get(attribute, 0)
+
+    def predicate_attribute_counts(self, table: str) -> dict[str, int]:
+        """How many window queries have a selection predicate on each attribute of ``table``."""
+        counts: dict[str, int] = {}
+        for query in self._queries:
+            for attribute in query.predicate_attributes(table):
+                counts[attribute] = counts.get(attribute, 0) + 1
+        return counts
+
+    def queries_on(self, table: str) -> list[Query]:
+        """Window queries that read ``table``."""
+        return [query for query in self._queries if table in query.tables]
+
+    def clear(self) -> None:
+        """Forget all queries."""
+        self._queries.clear()

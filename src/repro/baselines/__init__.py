@@ -1,0 +1,26 @@
+"""Comparison systems: Full Scan, Amoeba, full repartitioning, PREF, hand-tuned fixed."""
+
+from .fixed import BestGuessFixedBaseline
+from .full_repartitioning import FullRepartitioningBaseline
+from .pref import PREFBaseline, TPCH_REFERENCE_KEYS
+from .runners import (
+    AdaptDBRunner,
+    AdaptDBShuffleOnlyRunner,
+    AmoebaBaseline,
+    FullScanBaseline,
+    WorkloadRunner,
+    build_adaptdb,
+)
+
+__all__ = [
+    "AdaptDBRunner",
+    "AdaptDBShuffleOnlyRunner",
+    "AmoebaBaseline",
+    "BestGuessFixedBaseline",
+    "FullRepartitioningBaseline",
+    "FullScanBaseline",
+    "PREFBaseline",
+    "TPCH_REFERENCE_KEYS",
+    "WorkloadRunner",
+    "build_adaptdb",
+]

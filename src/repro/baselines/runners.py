@@ -1,0 +1,135 @@
+"""Workload runners for AdaptDB and the configuration-only baselines.
+
+All comparison systems in the paper's evaluation execute the same query
+sequences; they differ in how data is partitioned, whether the layout adapts,
+and which join algorithm is used.  Every runner in this package exposes the
+same two-method interface::
+
+    runner = FullScanBaseline(tables)
+    results = runner.run_workload(queries)    # list[QueryResult]
+
+Runners in this module are thin configurations of the AdaptDB engine itself:
+
+* :class:`AdaptDBRunner` — the full system (smooth repartitioning + Amoeba
+  refinement + cost-based hyper/shuffle choice),
+* :class:`AdaptDBShuffleOnlyRunner` — AdaptDB's partitioning but shuffle
+  joins only ("AdaptDB w/ Shuffle Join" in Figure 12),
+* :class:`FullScanBaseline` — no pruning, no adaptation, shuffle joins
+  ("Full Scan" in Figures 13 and 18),
+* :class:`AmoebaBaseline` — selection-only adaptation with shuffle joins
+  (the prior system AdaptDB builds on, compared in Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol
+
+from ..common.query import Query
+from ..core.adaptdb import AdaptDB
+from ..core.config import AdaptDBConfig
+from ..core.executor import QueryResult
+from ..storage.table import ColumnTable
+
+
+class WorkloadRunner(Protocol):
+    """Anything that can execute a list of queries and report per-query results."""
+
+    name: str
+
+    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
+        """Run the queries in order and return one result per query."""
+        ...  # pragma: no cover - protocol definition
+
+
+def build_adaptdb(tables: list[ColumnTable], config: AdaptDBConfig) -> AdaptDB:
+    """Create an AdaptDB instance and load ``tables`` with upfront partitioning."""
+    db = AdaptDB(config)
+    for table in tables:
+        db.load_table(table)
+    return db
+
+
+@dataclass
+class AdaptDBRunner:
+    """The full AdaptDB system."""
+
+    tables: list[ColumnTable]
+    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
+    name: str = "AdaptDB"
+    db: AdaptDB = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.db = build_adaptdb(self.tables, self.config)
+
+    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
+        """Run the workload with adaptation enabled."""
+        return self.db.run_workload(queries)
+
+
+@dataclass
+class AdaptDBShuffleOnlyRunner:
+    """AdaptDB's adaptive partitioning, but every join runs as a shuffle join."""
+
+    tables: list[ColumnTable]
+    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
+    name: str = "AdaptDB w/ Shuffle Join"
+    db: AdaptDB = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.db = build_adaptdb(self.tables, replace(self.config, force_join_method="shuffle"))
+
+    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
+        """Run the workload with adaptation enabled but shuffle joins forced."""
+        return self.db.run_workload(queries)
+
+
+@dataclass
+class FullScanBaseline:
+    """No partition pruning, no adaptation, shuffle joins everywhere."""
+
+    tables: list[ColumnTable]
+    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
+    name: str = "Full Scan"
+    db: AdaptDB = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.db = build_adaptdb(
+            self.tables,
+            replace(
+                self.config,
+                enable_pruning=False,
+                enable_smooth=False,
+                enable_amoeba=False,
+                force_join_method="shuffle",
+            ),
+        )
+
+    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
+        """Run the workload without adapting the layout."""
+        return self.db.run_workload(queries, adapt=False)
+
+
+@dataclass
+class AmoebaBaseline:
+    """Amoeba [21]: selection-driven adaptation only, joins always shuffle."""
+
+    tables: list[ColumnTable]
+    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
+    name: str = "Amoeba"
+    db: AdaptDB = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.db = build_adaptdb(
+            self.tables,
+            replace(
+                self.config,
+                enable_smooth=False,
+                enable_amoeba=True,
+                force_join_method="shuffle",
+            ),
+        )
+
+    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
+        """Run the workload with Amoeba's selection-only adaptation."""
+        return self.db.run_workload(queries)

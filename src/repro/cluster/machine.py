@@ -1,0 +1,62 @@
+"""A single worker machine in the simulated cluster.
+
+The paper ran on 10 physical nodes with 256 GB of RAM each.  In the
+reproduction a machine is a bookkeeping object: it has an identifier, a
+memory budget used to bound the size of hyper-join hash tables, and counters
+of how many blocks it has read locally vs. remotely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Machine:
+    """A simulated worker node.
+
+    Attributes:
+        machine_id: Zero-based identifier within the cluster.
+        memory_bytes: Memory available for building hash tables.
+        local_reads: Number of blocks this machine read from its own disk.
+        remote_reads: Number of blocks this machine read over the network.
+    """
+
+    machine_id: int
+    memory_bytes: int
+    local_reads: int = 0
+    remote_reads: int = 0
+    stored_blocks: set[int] = field(default_factory=set)
+
+    def holds(self, block_id: int) -> bool:
+        """Whether a replica of ``block_id`` lives on this machine's disk."""
+        return block_id in self.stored_blocks
+
+    def record_read(self, block_id: int) -> bool:
+        """Record a read of ``block_id`` by this machine.
+
+        Returns:
+            ``True`` if the read was local, ``False`` if it was remote.
+        """
+        if self.holds(block_id):
+            self.local_reads += 1
+            return True
+        self.remote_reads += 1
+        return False
+
+    def reset_counters(self) -> None:
+        """Zero the read counters (start of a new query)."""
+        self.local_reads = 0
+        self.remote_reads = 0
+
+    @property
+    def total_reads(self) -> int:
+        """Total number of block reads performed by this machine."""
+        return self.local_reads + self.remote_reads
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of reads that were local (1.0 when no reads happened)."""
+        if self.total_reads == 0:
+            return 1.0
+        return self.local_reads / self.total_reads

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the AdaptDB reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A column, type, or table definition is inconsistent."""
+
+
+class StorageError(ReproError):
+    """A block or table could not be located or stored."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning tree is malformed or cannot be constructed."""
+
+
+class PlanningError(ReproError):
+    """The optimizer or planner received an unsupported query."""
+
+
+class ExecutionError(ReproError):
+    """The executor failed while running a plan."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""

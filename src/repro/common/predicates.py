@@ -1,0 +1,187 @@
+"""Selection predicates.
+
+A predicate constrains a single column (``col <op> value``).  Predicates are
+used in three places, mirroring the paper:
+
+* block pruning — a partitioning tree ``lookup`` only descends into subtrees
+  whose value range can satisfy the predicate,
+* row filtering — the executor applies the predicate to the column arrays of
+  every surviving block,
+* adaptation hints — the Amoeba adaptor derives candidate tree transforms
+  from the predicate attributes seen in the query window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .errors import PlanningError
+
+
+class Operator(Enum):
+    """Comparison operators supported in selection predicates."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"  # inclusive on both ends
+    IN = "in"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-column selection predicate.
+
+    Attributes:
+        column: Name of the column the predicate applies to.
+        op: Comparison operator.
+        value: Comparison value.  For ``BETWEEN`` this is the lower bound and
+            for ``IN`` a tuple of admissible values.
+        high: Upper bound, only used by ``BETWEEN``.
+    """
+
+    column: str
+    op: Operator
+    value: float
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.op is Operator.BETWEEN and self.high is None:
+            raise PlanningError("BETWEEN predicate requires a high bound")
+        if self.op is Operator.IN and not isinstance(self.value, tuple):
+            raise PlanningError("IN predicate requires a tuple of values")
+
+    # ------------------------------------------------------------------ #
+    # Block-level pruning
+    # ------------------------------------------------------------------ #
+    def may_match_range(self, lo: float, hi: float) -> bool:
+        """Return whether *any* value in the closed interval [lo, hi] can satisfy this predicate.
+
+        Used to prune blocks and tree subtrees: if ``False`` the block cannot
+        contain qualifying rows and may be skipped.
+        """
+        if math.isnan(lo) or math.isnan(hi):
+            return True
+        if self.op is Operator.EQ:
+            return lo <= self.value <= hi
+        if self.op is Operator.NE:
+            return not (lo == hi == self.value)
+        if self.op is Operator.LT:
+            return lo < self.value
+        if self.op is Operator.LE:
+            return lo <= self.value
+        if self.op is Operator.GT:
+            return hi > self.value
+        if self.op is Operator.GE:
+            return hi >= self.value
+        if self.op is Operator.BETWEEN:
+            assert self.high is not None
+            return not (hi < self.value or lo > self.high)
+        if self.op is Operator.IN:
+            return any(lo <= v <= hi for v in self.value)
+        raise PlanningError(f"unsupported operator {self.op}")
+
+    # ------------------------------------------------------------------ #
+    # Row-level filtering
+    # ------------------------------------------------------------------ #
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Return a boolean mask of rows in ``values`` satisfying the predicate."""
+        if self.op is Operator.EQ:
+            return values == self.value
+        if self.op is Operator.NE:
+            return values != self.value
+        if self.op is Operator.LT:
+            return values < self.value
+        if self.op is Operator.LE:
+            return values <= self.value
+        if self.op is Operator.GT:
+            return values > self.value
+        if self.op is Operator.GE:
+            return values >= self.value
+        if self.op is Operator.BETWEEN:
+            assert self.high is not None
+            return (values >= self.value) & (values <= self.high)
+        if self.op is Operator.IN:
+            return np.isin(values, np.asarray(self.value))
+        raise PlanningError(f"unsupported operator {self.op}")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        if self.op is Operator.BETWEEN:
+            return f"{self.column} BETWEEN {self.value} AND {self.high}"
+        if self.op is Operator.IN:
+            return f"{self.column} IN {self.value}"
+        return f"{self.column} {self.op.value} {self.value}"
+
+
+def rows_matching(columns: dict[str, np.ndarray], predicates: list[Predicate]) -> np.ndarray:
+    """Return a boolean mask selecting rows of ``columns`` matching all ``predicates``.
+
+    An empty predicate list matches every row.
+    """
+    if not columns:
+        return np.zeros(0, dtype=bool)
+    num_rows = len(next(iter(columns.values())))
+    mask = np.ones(num_rows, dtype=bool)
+    for predicate in predicates:
+        if predicate.column not in columns:
+            raise PlanningError(f"predicate column {predicate.column!r} not present in data")
+        mask &= predicate.mask(columns[predicate.column])
+    return mask
+
+
+def block_may_match(ranges: dict[str, tuple[float, float]], predicates: list[Predicate]) -> bool:
+    """Return whether a block with per-column ``ranges`` may satisfy all ``predicates``.
+
+    Columns without range metadata are conservatively assumed to match.
+    """
+    for predicate in predicates:
+        column_range = ranges.get(predicate.column)
+        if column_range is None:
+            continue
+        if not predicate.may_match_range(*column_range):
+            return False
+    return True
+
+
+# Convenience constructors ------------------------------------------------- #
+
+def eq(column: str, value: float) -> Predicate:
+    """``column == value``"""
+    return Predicate(column, Operator.EQ, value)
+
+
+def lt(column: str, value: float) -> Predicate:
+    """``column < value``"""
+    return Predicate(column, Operator.LT, value)
+
+
+def le(column: str, value: float) -> Predicate:
+    """``column <= value``"""
+    return Predicate(column, Operator.LE, value)
+
+
+def gt(column: str, value: float) -> Predicate:
+    """``column > value``"""
+    return Predicate(column, Operator.GT, value)
+
+
+def ge(column: str, value: float) -> Predicate:
+    """``column >= value``"""
+    return Predicate(column, Operator.GE, value)
+
+
+def between(column: str, low: float, high: float) -> Predicate:
+    """``low <= column <= high``"""
+    return Predicate(column, Operator.BETWEEN, low, high)
+
+
+def isin(column: str, values: tuple[float, ...]) -> Predicate:
+    """``column IN values``"""
+    return Predicate(column, Operator.IN, tuple(values))

@@ -1,0 +1,172 @@
+"""The AdaptDB facade: the library's main public entry point.
+
+Typical usage::
+
+    from repro import AdaptDB, AdaptDBConfig
+    from repro.workloads import TPCHGenerator, tpch_query
+
+    db = AdaptDB(AdaptDBConfig(rows_per_block=1024))
+    for table in TPCHGenerator(scale=0.5).generate().values():
+        db.load_table(table)
+    result = db.run(tpch_query("q12", db.rng))
+    print(result.runtime_seconds, result.join_methods)
+
+``AdaptDB`` wires together the simulated cluster and DFS, the upfront
+partitioner, the adaptive repartitioner (smooth + Amoeba), the cost-based
+optimizer, and the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..adaptive.repartitioner import AdaptiveRepartitioner
+from ..cluster.cluster import Cluster
+from ..cluster.costmodel import CostModel
+from ..common.errors import StorageError
+from ..common.query import Query
+from ..common.rng import derive_rng, make_rng
+from ..partitioning.tree import PartitioningTree
+from ..partitioning.upfront import UpfrontPartitioner
+from ..storage.catalog import Catalog
+from ..storage.dfs import DistributedFileSystem
+from ..storage.table import ColumnTable, StoredTable
+from .config import AdaptDBConfig
+from .executor import Executor, QueryResult
+from .optimizer import Optimizer, QueryPlan
+
+
+@dataclass
+class AdaptDB:
+    """An AdaptDB storage-manager instance over a simulated cluster.
+
+    Attributes:
+        config: Instance configuration.
+        cluster: The simulated cluster (created from the config).
+        dfs: The simulated distributed file system.
+        catalog: Registered tables.
+    """
+
+    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
+    cluster: Cluster = field(init=False)
+    dfs: DistributedFileSystem = field(init=False)
+    catalog: Catalog = field(init=False)
+    optimizer: Optimizer = field(init=False)
+    executor: Executor = field(init=False)
+    rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rng = make_rng(self.config.seed)
+        cost_model = CostModel(
+            shuffle_factor=self.config.shuffle_cost_factor,
+            seconds_per_block=self.config.seconds_per_block,
+            parallelism=self.config.num_machines,
+        )
+        self.cluster = Cluster(
+            num_machines=self.config.num_machines,
+            cost_model=cost_model,
+        )
+        self.dfs = DistributedFileSystem(
+            cluster=self.cluster,
+            replication=self.config.replication,
+            rng=derive_rng(self.rng, "dfs"),
+        )
+        self.catalog = Catalog()
+        repartitioner = AdaptiveRepartitioner(
+            window_size=self.config.window_size,
+            rows_per_block=self.config.rows_per_block,
+            join_level_fraction=self.config.join_level_fraction,
+            min_frequency=self.config.min_frequency,
+            join_levels_override=self.config.join_levels_override,
+            enable_smooth=self.config.enable_smooth,
+            enable_amoeba=self.config.enable_amoeba,
+            rng=derive_rng(self.rng, "repartitioner"),
+        )
+        self.optimizer = Optimizer(
+            catalog=self.catalog,
+            cluster=self.cluster,
+            config=self.config,
+            repartitioner=repartitioner,
+        )
+        self.executor = Executor(
+            catalog=self.catalog,
+            cluster=self.cluster,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def load_table(
+        self,
+        table: ColumnTable,
+        partition_attributes: list[str] | None = None,
+        tree: "PartitioningTree | None" = None,
+    ) -> StoredTable:
+        """Partition ``table`` and register it with the instance.
+
+        By default the Amoeba upfront partitioner builds the initial tree
+        (no workload knowledge); callers that *do* know the workload (the
+        PREF and hand-tuned baselines, or a user who "requests" a join tree,
+        Section 5.1) may pass a pre-built ``tree`` instead.
+
+        Args:
+            table: The raw in-memory table.
+            partition_attributes: Attributes the upfront partitioner may use;
+                defaults to every column.  Ignored when ``tree`` is given.
+            tree: Optional pre-built partitioning tree with unbound leaves.
+
+        Returns:
+            The registered :class:`StoredTable`.
+        """
+        if table.name in self.catalog:
+            raise StorageError(f"table {table.name!r} already loaded")
+        if tree is None:
+            attributes = partition_attributes or table.schema.column_names
+            partitioner = UpfrontPartitioner(
+                attributes=attributes, rows_per_block=self.config.rows_per_block
+            )
+            sample = table.sample(
+                self.config.sample_size, derive_rng(self.rng, f"sample:{table.name}")
+            )
+            tree = partitioner.build(sample, total_rows=table.num_rows)
+        stored = StoredTable.load(
+            table,
+            self.dfs,
+            tree,
+            rows_per_block=self.config.rows_per_block,
+            sample_size=self.config.sample_size,
+            rng=derive_rng(self.rng, f"stored-sample:{table.name}"),
+        )
+        self.catalog.register(stored)
+        return stored
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def plan(self, query: Query, adapt: bool = True) -> QueryPlan:
+        """Plan a query (optionally without performing adaptation)."""
+        return self.optimizer.plan_query(query, adapt=adapt)
+
+    def run(self, query: Query, adapt: bool = True) -> QueryResult:
+        """Plan and execute ``query``, returning its accounted result."""
+        self.dfs.reset_read_stats()
+        plan = self.plan(query, adapt=adapt)
+        return self.executor.execute(plan)
+
+    def run_workload(self, queries: list[Query], adapt: bool = True) -> list[QueryResult]:
+        """Run a sequence of queries, adapting after each one."""
+        return [self.run(query, adapt=adapt) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def table(self, name: str) -> StoredTable:
+        """Return a registered table by name."""
+        return self.catalog.get(name)
+
+    def describe(self) -> str:
+        """Multi-line summary of every table's partitioning state."""
+        return "\n".join(table.describe() for table in self.catalog.tables())

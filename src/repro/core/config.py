@@ -1,0 +1,76 @@
+"""AdaptDB configuration.
+
+One :class:`AdaptDBConfig` object captures every tunable studied in the
+paper's sensitivity analysis (Section 7.4) plus the simulation-scale knobs
+introduced by the reproduction (rows per block instead of 64 MB, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import PlanningError
+
+
+@dataclass
+class AdaptDBConfig:
+    """Configuration of one AdaptDB instance.
+
+    Attributes:
+        num_machines: Worker nodes in the simulated cluster (paper: 10).
+        rows_per_block: Target rows per storage block (stand-in for the 64 MB
+            HDFS block size).
+        buffer_blocks: Memory budget ``B`` of the hyper-join — how many
+            build-side blocks fit in one worker's hash-table memory
+            (Figure 14 sweeps this).
+        window_size: Query-window length ``|W|`` (Figure 15 sweeps this).
+        join_level_fraction: Fraction of tree levels reserved for the join
+            attribute in two-phase trees (Figure 16 sweeps this; paper
+            default is one half).
+        join_levels_override: Absolute number of join levels; overrides the
+            fraction when not ``None``.
+        min_frequency: Minimum number of window queries with a new join
+            attribute before a tree is created for it (``fmin``).
+        enable_smooth: Enable join-driven smooth repartitioning.
+        enable_amoeba: Enable selection-driven Amoeba refinement.
+        enable_pruning: Use partitioning trees to skip blocks; disabling this
+            models the Full Scan baseline.
+        force_join_method: ``None`` (cost-based choice), ``"shuffle"`` or
+            ``"hyper"`` to force a join algorithm for ablation runs.
+        grouping_algorithm: Block-grouping heuristic used by hyper-join.
+        sample_size: Rows retained in each table's sample.
+        replication: DFS replication factor.
+        seed: Seed for all randomized choices.
+        shuffle_cost_factor: The cost model's ``CSJ`` constant.
+        seconds_per_block: Cost-unit to modelled-seconds conversion factor.
+    """
+
+    num_machines: int = 10
+    rows_per_block: int = 2048
+    buffer_blocks: int = 16
+    window_size: int = 10
+    join_level_fraction: float = 0.5
+    join_levels_override: int | None = None
+    min_frequency: int = 1
+    enable_smooth: bool = True
+    enable_amoeba: bool = True
+    enable_pruning: bool = True
+    force_join_method: str | None = None
+    grouping_algorithm: str = "bottom_up"
+    sample_size: int = 10_000
+    replication: int = 3
+    seed: int = 20170101
+    shuffle_cost_factor: float = 3.0
+    seconds_per_block: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rows_per_block <= 0:
+            raise PlanningError("rows_per_block must be positive")
+        if self.buffer_blocks < 1:
+            raise PlanningError("buffer_blocks must be at least 1")
+        if self.window_size < 1:
+            raise PlanningError("window_size must be at least 1")
+        if not 0.0 <= self.join_level_fraction <= 1.0:
+            raise PlanningError("join_level_fraction must be in [0, 1]")
+        if self.force_join_method not in (None, "shuffle", "hyper"):
+            raise PlanningError("force_join_method must be None, 'shuffle' or 'hyper'")

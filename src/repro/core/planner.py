@@ -1,0 +1,70 @@
+"""Query planner (Section 6, "Query Planner").
+
+The planner classifies each join of a query into the paper's three cases —
+pure hyper-join, mixed hyper/shuffle during smooth repartitioning, or shuffle
+join — based on how the two tables' partitioning trees relate to the join
+attribute.  The final algorithm choice is cost-based (Section 5.4) and made
+by the optimizer; the classification is kept for reporting and testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..common.query import JoinClause
+from ..storage.catalog import Catalog
+
+
+class JoinCase(Enum):
+    """The paper's three planner cases for a two-table join."""
+
+    CO_PARTITIONED = "co_partitioned"   # both tables: one tree, on the join attribute
+    MIXED = "mixed"                     # one side mid-migration (multiple trees)
+    NOT_PARTITIONED = "not_partitioned"  # neither side organized on the join attribute
+
+
+class JoinMethod(Enum):
+    """The join algorithm actually executed."""
+
+    HYPER = "hyper"
+    SHUFFLE = "shuffle"
+
+
+@dataclass
+class JoinClassification:
+    """How a join clause relates to the current partitioning state."""
+
+    clause: JoinClause
+    case: JoinCase
+    left_on_join_attribute: bool
+    right_on_join_attribute: bool
+    left_trees: int
+    right_trees: int
+
+
+def classify_join(catalog: Catalog, clause: JoinClause) -> JoinClassification:
+    """Classify a join clause into one of the planner's three cases."""
+    left = catalog.get(clause.left_table)
+    right = catalog.get(clause.right_table)
+
+    left_tree = left.tree_for_join_attribute(clause.left_column)
+    right_tree = right.tree_for_join_attribute(clause.right_column)
+    left_single = left.num_trees == 1 and left_tree is not None
+    right_single = right.num_trees == 1 and right_tree is not None
+
+    if left_single and right_single:
+        case = JoinCase.CO_PARTITIONED
+    elif left_tree is not None or right_tree is not None:
+        case = JoinCase.MIXED
+    else:
+        case = JoinCase.NOT_PARTITIONED
+
+    return JoinClassification(
+        clause=clause,
+        case=case,
+        left_on_join_attribute=left_tree is not None,
+        right_on_join_attribute=right_tree is not None,
+        left_trees=left.num_trees,
+        right_trees=right.num_trees,
+    )

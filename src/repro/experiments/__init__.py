@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+| Module | Paper figure |
+|---|---|
+| ``fig01_copartition`` | Fig. 1 — shuffle vs co-partitioned join |
+| ``fig07_locality``    | Fig. 7 — varying data locality |
+| ``fig08_scaling``     | Fig. 8 — runtime vs dataset size |
+| ``fig12_tpch``        | Fig. 12 — per-template TPC-H comparison |
+| ``fig13_adaptation``  | Fig. 13(a)/(b) — switching and shifting workloads |
+| ``fig14_buffer``      | Fig. 14 — hyper-join memory buffer sweep |
+| ``fig15_window``      | Fig. 15 — query-window size sweep |
+| ``fig16_levels``      | Fig. 16(a)/(b) — join levels in the partitioning trees |
+| ``fig17_ilp``         | Fig. 17 — ILP vs approximate grouping |
+| ``fig18_cmt``         | Fig. 18 — CMT real-workload trace |
+"""
+
+from . import (
+    fig01_copartition,
+    fig07_locality,
+    fig08_scaling,
+    fig12_tpch,
+    fig13_adaptation,
+    fig14_buffer,
+    fig15_window,
+    fig16_levels,
+    fig17_ilp,
+    fig18_cmt,
+)
+from .harness import ExperimentResult, Series
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "fig01_copartition",
+    "fig07_locality",
+    "fig08_scaling",
+    "fig12_tpch",
+    "fig13_adaptation",
+    "fig14_buffer",
+    "fig15_window",
+    "fig16_levels",
+    "fig17_ilp",
+    "fig18_cmt",
+]

@@ -1,0 +1,82 @@
+"""Figure 15 — effect of the query-window size.
+
+A 70-query workload shifts from q14 to q19 and back (both join ``lineitem``
+with ``part`` but with different selection predicates).  A small window
+(size 5) makes AdaptDB converge quickly but with larger repartitioning spikes
+and a tendency to overfit; a large window (size 35) spreads the cost over
+more queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.runners import AdaptDBRunner
+from ..common.rng import make_rng
+from ..core.config import AdaptDBConfig
+from ..workloads.generators import window_sensitivity_workload
+from ..workloads.tpch import TPCHGenerator
+from .harness import ExperimentResult
+
+#: Window sizes compared in Figure 15.
+WINDOW_SIZES = [5, 35]
+
+
+def run(
+    scale: float = 0.15,
+    rows_per_block: int = 512,
+    window_sizes: list[int] | None = None,
+    seed: int = 1,
+) -> ExperimentResult:
+    """Reproduce Figure 15: per-query runtime under two window sizes."""
+    window_sizes = window_sizes or list(WINDOW_SIZES)
+    tables = list(
+        TPCHGenerator(scale=scale, seed=seed).generate(["lineitem", "part"]).values()
+    )
+
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="Execution time for varying query-window length (q14 ↔ q19)",
+        x_label="query #",
+        y_label="modelled runtime (seconds)",
+    )
+
+    convergence: dict[int, int] = {}
+    for window_size in window_sizes:
+        rng = make_rng(seed)
+        queries = window_sensitivity_workload(rng)
+        config = AdaptDBConfig(
+            rows_per_block=rows_per_block,
+            buffer_blocks=8,
+            window_size=window_size,
+            seed=seed,
+        )
+        runner = AdaptDBRunner(tables, config)
+        results = runner.run_workload(queries)
+        runtimes = [item.runtime_seconds for item in results]
+        result.add_series(f"Window size ({window_size})", list(range(1, len(runtimes) + 1)), runtimes)
+        convergence[window_size] = _last_adaptation_index(results)
+
+    for window_size, index in convergence.items():
+        result.notes[f"last_adaptation_w{window_size}"] = index
+    result.notes["paper_observation"] = (
+        "smaller window converges faster but with larger spikes"
+    )
+    return result
+
+
+def _last_adaptation_index(results) -> int:
+    """Index (1-based) of the last query that still repartitioned blocks."""
+    last = 0
+    for index, item in enumerate(results, start=1):
+        if item.blocks_repartitioned > 0:
+            last = index
+    return last
+
+
+def main() -> None:  # pragma: no cover - CLI helper
+    print(run().to_table())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,94 @@
+"""Result containers and pretty-printing shared by every experiment driver.
+
+Each experiment module reproduces one figure of the paper's evaluation and
+returns an :class:`ExperimentResult`: a set of labelled series (one per line
+or bar group in the original figure) plus free-form notes.  The benchmark
+harness prints these as aligned text tables so paper-vs-measured comparisons
+can be recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One labelled data series (a line or bar group in the original figure)."""
+
+    label: str
+    x: list
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+
+    @property
+    def total(self) -> float:
+        """Sum of the series values."""
+        return float(sum(self.y))
+
+    @property
+    def maximum(self) -> float:
+        """Largest value in the series."""
+        return float(max(self.y)) if self.y else 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of reproducing one figure."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: dict[str, float | str] = field(default_factory=dict)
+
+    def add_series(self, label: str, x: list, y: list[float]) -> Series:
+        """Append a new series and return it."""
+        series = Series(label=label, x=list(x), y=[float(value) for value in y])
+        self.series.append(series)
+        return series
+
+    def series_by_label(self, label: str) -> Series:
+        """Return the series with the given label.
+
+        Raises:
+            KeyError: if no series carries that label.
+        """
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labelled {label!r} in {self.experiment_id}")
+
+    def to_table(self, float_format: str = "{:.1f}") -> str:
+        """Render the result as an aligned text table (x values as rows)."""
+        if not self.series:
+            return f"{self.experiment_id}: (no data)"
+        header = [self.x_label] + [series.label for series in self.series]
+        x_values = self.series[0].x
+        rows = []
+        for index, x_value in enumerate(x_values):
+            row = [str(x_value)]
+            for series in self.series:
+                value = series.y[index] if index < len(series.y) else float("nan")
+                row.append(float_format.format(value))
+            rows.append(row)
+
+        widths = [max(len(str(cell)) for cell in column) for column in zip(header, *rows)]
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            "  " + " | ".join(cell.ljust(width) for cell, width in zip(header, widths)),
+            "  " + "-+-".join("-" * width for width in widths),
+        ]
+        for row in rows:
+            lines.append("  " + " | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if self.notes:
+            lines.append("  notes: " + ", ".join(f"{key}={value}" for key, value in self.notes.items()))
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, float]:
+        """Per-series totals, useful for quick assertions in tests and benches."""
+        return {series.label: series.total for series in self.series}

@@ -1,0 +1,115 @@
+"""Run every experiment driver and emit a single consolidated report.
+
+This is the "regenerate the whole evaluation section" entry point::
+
+    python -m repro.experiments.run_all            # quick (benchmark-scale) run
+    python -m repro.experiments.run_all --full     # larger, slower run
+
+The report prints each figure's table followed by its notes, in paper order,
+and ends with a one-line verdict per figure so the output can be diffed
+against ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable
+
+from .harness import ExperimentResult
+from . import (
+    fig01_copartition,
+    fig07_locality,
+    fig08_scaling,
+    fig12_tpch,
+    fig13_adaptation,
+    fig14_buffer,
+    fig15_window,
+    fig16_levels,
+    fig17_ilp,
+    fig18_cmt,
+)
+
+ExperimentRunner = Callable[[], ExperimentResult]
+
+
+def quick_suite() -> dict[str, ExperimentRunner]:
+    """Benchmark-scale parameters: the full suite finishes in a few minutes."""
+    return {
+        "fig1": lambda: fig01_copartition.run(scale=0.25, rows_per_block=512),
+        "fig7": lambda: fig07_locality.run(scale=0.25),
+        "fig8": lambda: fig08_scaling.run(scale=0.3),
+        "fig12": lambda: fig12_tpch.run(scale=0.12, warmup_queries=10, measured_queries=3),
+        "fig13a": lambda: fig13_adaptation.run_switching(scale=0.1, queries_per_template=8),
+        "fig13b": lambda: fig13_adaptation.run_shifting(scale=0.1, transition_length=8),
+        "fig14": lambda: fig14_buffer.run(scale=0.25, rows_per_block=256),
+        "fig15": lambda: fig15_window.run(scale=0.1),
+        "fig16a": lambda: fig16_levels.run(scale=0.2, rows_per_block=128, with_predicates=True),
+        "fig16b": lambda: fig16_levels.run(scale=0.2, rows_per_block=128, with_predicates=False),
+        "fig17": lambda: fig17_ilp.run(
+            scale=0.15, lineitem_blocks=64, orders_blocks=16,
+            buffer_sizes=[8, 16, 32, 64], ilp_time_limit_seconds=15,
+        ),
+        "fig18": lambda: fig18_cmt.run(scale=0.1, num_queries=103),
+    }
+
+
+def full_suite() -> dict[str, ExperimentRunner]:
+    """Paper-shaped parameters (full workload lengths); takes tens of minutes."""
+    return {
+        "fig1": lambda: fig01_copartition.run(scale=1.0, rows_per_block=1024),
+        "fig7": lambda: fig07_locality.run(scale=1.0),
+        "fig8": lambda: fig08_scaling.run(scale=1.0),
+        "fig12": lambda: fig12_tpch.run(scale=0.4, warmup_queries=15, measured_queries=10),
+        "fig13a": lambda: fig13_adaptation.run_switching(scale=0.3, queries_per_template=20),
+        "fig13b": lambda: fig13_adaptation.run_shifting(scale=0.3, transition_length=20),
+        "fig14": lambda: fig14_buffer.run(scale=1.0, rows_per_block=256),
+        "fig15": lambda: fig15_window.run(scale=0.3),
+        "fig16a": lambda: fig16_levels.run(scale=0.5, rows_per_block=128, with_predicates=True),
+        "fig16b": lambda: fig16_levels.run(scale=0.5, rows_per_block=128, with_predicates=False),
+        "fig17": lambda: fig17_ilp.run(
+            scale=0.3, lineitem_blocks=128, orders_blocks=32,
+            buffer_sizes=[16, 32, 64, 128], ilp_time_limit_seconds=120,
+        ),
+        "fig18": lambda: fig18_cmt.run(scale=0.5, num_queries=103),
+    }
+
+
+def run_suite(suite: dict[str, ExperimentRunner]) -> dict[str, ExperimentResult]:
+    """Run every experiment in ``suite`` and return results keyed by figure id."""
+    results: dict[str, ExperimentResult] = {}
+    for figure_id, runner in suite.items():
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        result.notes["driver_wall_seconds"] = round(elapsed, 1)
+        results[figure_id] = result
+    return results
+
+
+def render_report(results: dict[str, ExperimentResult]) -> str:
+    """Render all results as one text report with a verdict section at the end."""
+    sections = []
+    for figure_id, result in results.items():
+        sections.append(result.to_table())
+    sections.append("Verdicts:")
+    for figure_id, result in results.items():
+        observation = result.notes.get("paper_observation", result.title)
+        sections.append(f"  {figure_id:<7} {observation}")
+    return "\n\n".join(sections[:-len(results) - 1]) + "\n\n" + "\n".join(sections[-len(results) - 1:])
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI helper
+    parser = argparse.ArgumentParser(description="Regenerate every figure of the AdaptDB evaluation")
+    parser.add_argument("--full", action="store_true", help="use paper-shaped workload sizes")
+    parser.add_argument("--only", nargs="*", help="figure ids to run (default: all)")
+    arguments = parser.parse_args(argv)
+
+    suite = full_suite() if arguments.full else quick_suite()
+    if arguments.only:
+        suite = {figure_id: suite[figure_id] for figure_id in arguments.only}
+    print(render_report(run_suite(suite)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

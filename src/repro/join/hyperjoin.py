@@ -1,0 +1,190 @@
+"""Hyper-join (Section 4.1).
+
+Hyper-join avoids shuffling: it groups the build-side blocks into
+memory-sized partitions (one hash table per group), and probes each hash
+table with exactly the probe-side blocks whose join-attribute range overlaps
+the group.  The cost is ``blocks(R) + C_HyJ · blocks(S)`` (equation (2)),
+where ``C_HyJ`` is the average number of times a needed probe block is read —
+1.0 for perfectly co-partitioned tables, larger when block ranges overlap
+more widely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.costmodel import CostModel
+from ..common.errors import PlanningError
+from ..common.predicates import Predicate
+from ..storage.dfs import DistributedFileSystem
+from .grouping import Grouping, average_probe_multiplicity, group_blocks
+from .kernels import KeyHistogram, join_match_count
+from .overlap import compute_overlap_matrix
+from .shuffle import JoinStats
+
+
+@dataclass
+class HyperJoinPlan:
+    """A fully determined hyper-join schedule.
+
+    Attributes:
+        build_block_ids: Non-empty build-side blocks, in overlap-matrix order.
+        probe_block_ids: Non-empty probe-side blocks, in overlap-matrix order.
+        overlap: The boolean overlap matrix between the two block lists.
+        grouping: The chosen grouping of build-side blocks.
+        probe_multiplicity: Estimated ``C_HyJ`` for this schedule.
+    """
+
+    build_block_ids: list[int]
+    probe_block_ids: list[int]
+    overlap: np.ndarray
+    grouping: Grouping
+    probe_multiplicity: float
+
+    @property
+    def estimated_probe_reads(self) -> int:
+        """Total probe-block reads the schedule will perform."""
+        return self.grouping.total_probe_reads
+
+
+def plan_hyper_join(
+    dfs: DistributedFileSystem,
+    build_block_ids: list[int],
+    probe_block_ids: list[int],
+    build_column: str,
+    probe_column: str,
+    buffer_blocks: int,
+    algorithm: str = "bottom_up",
+) -> HyperJoinPlan:
+    """Compute the hyper-join schedule (overlap matrix + grouping).
+
+    Empty blocks and blocks lacking join-attribute metadata are dropped —
+    they cannot contribute join matches and incur no I/O.
+
+    Args:
+        dfs: The DFS holding both relations' blocks.
+        build_block_ids: Candidate build-side blocks (hash tables are built
+            over these).
+        probe_block_ids: Candidate probe-side blocks.
+        build_column / probe_column: Join attribute on each side.
+        buffer_blocks: Memory budget ``B`` (build blocks per hash table).
+        algorithm: Grouping algorithm name (see ``repro.join.grouping``).
+    """
+    if buffer_blocks < 1:
+        raise PlanningError("buffer_blocks must be at least 1")
+
+    def usable(block_ids: list[int], column: str) -> tuple[list[int], list[tuple[float, float]]]:
+        ids: list[int] = []
+        ranges: list[tuple[float, float]] = []
+        for block_id in block_ids:
+            block = dfs.peek_block(block_id)
+            if block.num_rows == 0 or column not in block.ranges:
+                continue
+            ids.append(block_id)
+            ranges.append(block.range_of(column))
+        return ids, ranges
+
+    build_ids, build_ranges = usable(build_block_ids, build_column)
+    probe_ids, probe_ranges = usable(probe_block_ids, probe_column)
+
+    overlap = compute_overlap_matrix(build_ranges, probe_ranges)
+    grouping = group_blocks(overlap, buffer_blocks, algorithm) if build_ids else Grouping(groups=[])
+    multiplicity = average_probe_multiplicity(overlap, grouping) if build_ids else 1.0
+    return HyperJoinPlan(
+        build_block_ids=build_ids,
+        probe_block_ids=probe_ids,
+        overlap=overlap,
+        grouping=grouping,
+        probe_multiplicity=multiplicity,
+    )
+
+
+def execute_hyper_join(
+    dfs: DistributedFileSystem,
+    plan: HyperJoinPlan,
+    build_column: str,
+    probe_column: str,
+    build_predicates: list[Predicate] | None = None,
+    probe_predicates: list[Predicate] | None = None,
+    cost_model: CostModel | None = None,
+) -> JoinStats:
+    """Run a hyper-join according to ``plan`` and account its I/O.
+
+    For every group: the group's build blocks are read once and a hash table
+    (key histogram) is built over their filtered rows; every probe block
+    overlapping the group is then read and probed.
+
+    Returns:
+        A :class:`JoinStats` with ``method="hyper"``.
+    """
+    cost_model = cost_model or CostModel()
+    build_predicates = build_predicates or []
+    probe_predicates = probe_predicates or []
+
+    build_reads = 0
+    probe_reads = 0
+    output_rows = 0
+
+    for group in plan.grouping.groups:
+        histograms: list[KeyHistogram] = []
+        for index in group:
+            block = dfs.get_block(plan.build_block_ids[index])
+            build_reads += 1
+            rows = block.filtered(build_predicates)
+            histograms.append(KeyHistogram.from_keys(rows[build_column]))
+        build_histogram = KeyHistogram.merge(histograms)
+
+        group_union = plan.overlap[group].any(axis=0) if group else np.zeros(0, dtype=bool)
+        for probe_index in np.flatnonzero(group_union):
+            block = dfs.get_block(plan.probe_block_ids[int(probe_index)])
+            probe_reads += 1
+            rows = block.filtered(probe_predicates)
+            probe_histogram = KeyHistogram.from_keys(rows[probe_column])
+            output_rows += join_match_count(build_histogram, probe_histogram)
+
+    cost = cost_model.hyper_join_cost(build_reads, probe_reads)
+    return JoinStats(
+        method="hyper",
+        build_blocks_read=build_reads,
+        probe_blocks_read=probe_reads,
+        shuffled_blocks=0,
+        output_rows=output_rows,
+        cost_units=cost,
+        probe_multiplicity=plan.probe_multiplicity,
+        groups=plan.grouping.num_groups,
+    )
+
+
+def hyper_join(
+    dfs: DistributedFileSystem,
+    build_block_ids: list[int],
+    probe_block_ids: list[int],
+    build_column: str,
+    probe_column: str,
+    buffer_blocks: int,
+    build_predicates: list[Predicate] | None = None,
+    probe_predicates: list[Predicate] | None = None,
+    cost_model: CostModel | None = None,
+    algorithm: str = "bottom_up",
+) -> JoinStats:
+    """Plan and execute a hyper-join in one call (convenience wrapper)."""
+    plan = plan_hyper_join(
+        dfs,
+        build_block_ids,
+        probe_block_ids,
+        build_column,
+        probe_column,
+        buffer_blocks,
+        algorithm,
+    )
+    return execute_hyper_join(
+        dfs,
+        plan,
+        build_column,
+        probe_column,
+        build_predicates,
+        probe_predicates,
+        cost_model,
+    )

@@ -1,0 +1,68 @@
+"""Overlap vectors between the blocks of two joined relations (Section 4.1.1).
+
+For a join R ⋈ S on attribute ``t``, block ``r_i`` of R overlaps block
+``s_j`` of S when their ``t`` ranges intersect — exactly those pairs must be
+joined with each other.  The overlap structure is summarized as a boolean
+matrix ``V`` with ``V[i, j] = 1`` iff ``Range_t(r_i) ∩ Range_t(s_j) ≠ ∅``;
+the paper calls the rows of this matrix the vectors ``v_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import PlanningError
+
+Range = tuple[float, float]
+
+
+def ranges_overlap(a: Range, b: Range) -> bool:
+    """Whether two closed intervals intersect."""
+    return not (a[1] < b[0] or b[1] < a[0])
+
+
+def compute_overlap_matrix(build_ranges: list[Range], probe_ranges: list[Range]) -> np.ndarray:
+    """Compute the overlap matrix ``V`` between build-side and probe-side blocks.
+
+    Args:
+        build_ranges: Per-block (min, max) of the join attribute in relation R.
+        probe_ranges: Per-block (min, max) of the join attribute in relation S.
+
+    Returns:
+        A boolean matrix of shape ``(len(build_ranges), len(probe_ranges))``.
+
+    Raises:
+        PlanningError: if any range is inverted (min > max).
+    """
+    for ranges in (build_ranges, probe_ranges):
+        for lo, hi in ranges:
+            if lo > hi:
+                raise PlanningError(f"invalid block range ({lo}, {hi})")
+    if not build_ranges or not probe_ranges:
+        return np.zeros((len(build_ranges), len(probe_ranges)), dtype=bool)
+
+    build = np.asarray(build_ranges, dtype=float)
+    probe = np.asarray(probe_ranges, dtype=float)
+    # r and s overlap  <=>  r.lo <= s.hi  and  s.lo <= r.hi
+    lo_ok = build[:, 0][:, None] <= probe[:, 1][None, :]
+    hi_ok = probe[:, 0][None, :] <= build[:, 1][:, None]
+    return lo_ok & hi_ok
+
+
+def delta(vector: np.ndarray) -> int:
+    """Number of set bits in an overlap vector (the paper's δ)."""
+    return int(np.count_nonzero(vector))
+
+
+def union_vector(matrix: np.ndarray, block_indices: list[int]) -> np.ndarray:
+    """The union (bitwise OR) of the overlap vectors of ``block_indices``."""
+    if not block_indices:
+        return np.zeros(matrix.shape[1], dtype=bool)
+    return matrix[block_indices].any(axis=0)
+
+
+def probe_blocks_needed(matrix: np.ndarray) -> int:
+    """Number of probe-side blocks that overlap at least one build-side block."""
+    if matrix.size == 0:
+        return 0
+    return int(matrix.any(axis=0).sum())

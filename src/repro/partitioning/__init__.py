@@ -1,0 +1,19 @@
+"""Partitioning trees and their builders (upfront/Amoeba and two-phase)."""
+
+from .builders import BalancedAttributeAllocator, build_median_tree, median_cutpoint
+from .tree import PartitioningTree, TreeNode
+from .two_phase import DEFAULT_JOIN_LEVEL_FRACTION, TwoPhasePartitioner, default_join_levels
+from .upfront import UpfrontPartitioner, leaves_for_block_budget
+
+__all__ = [
+    "BalancedAttributeAllocator",
+    "DEFAULT_JOIN_LEVEL_FRACTION",
+    "PartitioningTree",
+    "TreeNode",
+    "TwoPhasePartitioner",
+    "UpfrontPartitioner",
+    "build_median_tree",
+    "default_join_levels",
+    "leaves_for_block_budget",
+    "median_cutpoint",
+]

@@ -1,0 +1,158 @@
+"""Shared machinery for constructing partitioning trees from a data sample.
+
+Both the Amoeba upfront partitioner and AdaptDB's two-phase partitioner are
+recursive median splitters: a node splits its sample subset on some attribute
+at the subset's median so that both children receive roughly half of the
+rows.  The two partitioners differ only in *which* attribute each node splits
+on, so that policy is injected as a callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..common.errors import PartitioningError
+from .tree import TreeNode
+
+# An attribute chooser receives (depth, attributes used on the path from the
+# root, the candidate sample rows of the node) and returns the attribute to
+# split on, or None to signal "any usable attribute".
+AttributeChooser = Callable[[int, list[str], np.ndarray], str | None]
+
+
+class SupportsSampleColumns(Protocol):
+    """Anything exposing a mapping of column name to numpy array."""
+
+    def __getitem__(self, name: str) -> np.ndarray: ...  # pragma: no cover
+
+
+def median_cutpoint(values: np.ndarray) -> float | None:
+    """Return a cutpoint that splits ``values`` into two non-empty halves.
+
+    The cutpoint is the lower-median value; rows with ``value <= cutpoint``
+    go left.  Returns ``None`` when the values cannot be split (fewer than
+    two distinct values), which signals the caller to try another attribute.
+    """
+    if len(values) < 2:
+        return None
+    ordered = np.sort(values)
+    cut = float(ordered[(len(ordered) - 1) // 2])
+    if cut < ordered[-1]:
+        return cut
+    # The lower median equals the maximum (heavily skewed subset): fall back
+    # to the largest value strictly below the maximum so the split is still
+    # proper whenever the subset has at least two distinct values.
+    below_max = ordered[ordered < ordered[-1]]
+    if len(below_max) == 0:
+        return None
+    return float(below_max[-1])
+
+
+def split_leaf_budget(num_leaves: int) -> tuple[int, int]:
+    """Split a leaf budget between the two children of a node."""
+    left = (num_leaves + 1) // 2
+    right = num_leaves - left
+    return left, right
+
+
+def build_median_tree(
+    sample: dict[str, np.ndarray],
+    num_leaves: int,
+    choose_attribute: AttributeChooser,
+    candidate_attributes: list[str],
+) -> TreeNode:
+    """Recursively build a tree with ``num_leaves`` leaves by median splitting.
+
+    Args:
+        sample: Column name -> sampled values used to pick cutpoints.
+        num_leaves: Desired number of leaves (>= 1).
+        choose_attribute: Policy deciding which attribute a node splits on.
+            When the chosen attribute cannot split the node's sample subset
+            (all values equal), the builder falls back to any attribute in
+            ``candidate_attributes`` that can, and finally to a degenerate
+            split on the chosen attribute.
+        candidate_attributes: Attributes allowed as fallbacks.
+
+    Returns:
+        The root :class:`TreeNode` of the constructed tree.
+
+    Raises:
+        PartitioningError: if ``num_leaves`` is not positive or the sample is
+            missing a requested attribute.
+    """
+    if num_leaves < 1:
+        raise PartitioningError("num_leaves must be >= 1")
+    for attribute in candidate_attributes:
+        if attribute not in sample:
+            raise PartitioningError(f"sample is missing attribute {attribute!r}")
+
+    sample_size = len(next(iter(sample.values()))) if sample else 0
+    all_indices = np.arange(sample_size, dtype=np.int64)
+
+    def build(indices: np.ndarray, leaves: int, depth: int, path: list[str]) -> TreeNode:
+        if leaves == 1:
+            return TreeNode()
+
+        chosen = choose_attribute(depth, path, indices)
+        ordered_candidates: list[str] = []
+        if chosen is not None:
+            ordered_candidates.append(chosen)
+        ordered_candidates.extend(a for a in candidate_attributes if a not in ordered_candidates)
+
+        attribute, cutpoint = _pick_splittable(sample, indices, ordered_candidates)
+        if attribute is None:
+            # Nothing in the sample can split this subset (e.g. it is empty or
+            # fully duplicated).  Fall back to a degenerate split: the left
+            # child receives everything, the right child exists only to keep
+            # the leaf count; the median of the *full* sample is used so that
+            # routing future data still spreads rows.
+            attribute = ordered_candidates[0]
+            full_values = sample[attribute]
+            cutpoint = float(np.median(full_values)) if len(full_values) else 0.0
+
+        left_budget, right_budget = split_leaf_budget(leaves)
+        values = sample[attribute][indices]
+        goes_left = values <= cutpoint
+        left_child = build(indices[goes_left], left_budget, depth + 1, path + [attribute])
+        right_child = build(indices[~goes_left], right_budget, depth + 1, path + [attribute])
+        return TreeNode(attribute=attribute, cutpoint=cutpoint, left=left_child, right=right_child)
+
+    return build(all_indices, num_leaves, 0, [])
+
+
+def _pick_splittable(
+    sample: dict[str, np.ndarray],
+    indices: np.ndarray,
+    ordered_candidates: list[str],
+) -> tuple[str | None, float | None]:
+    """Return the first attribute (in preference order) that can split ``indices``."""
+    for attribute in ordered_candidates:
+        cut = median_cutpoint(sample[attribute][indices])
+        if cut is not None:
+            return attribute, cut
+    return None, None
+
+
+class BalancedAttributeAllocator:
+    """Amoeba's heterogeneous-branching allocation policy (Section 3.1).
+
+    The allocator tries to keep the *average number of ways each attribute is
+    partitioned on* roughly equal: a node prefers the attribute that is least
+    used globally and that has not already been used on the node's own path
+    (so an attribute's splits compose rather than repeat immediately).
+    """
+
+    def __init__(self, attributes: list[str]) -> None:
+        if not attributes:
+            raise PartitioningError("at least one partitioning attribute is required")
+        self.attributes = list(attributes)
+        self.usage = {attribute: 0 for attribute in attributes}
+
+    def __call__(self, depth: int, path: list[str], indices: np.ndarray) -> str | None:
+        unused_on_path = [a for a in self.attributes if a not in path]
+        pool = unused_on_path or self.attributes
+        chosen = min(pool, key=lambda a: (self.usage[a], self.attributes.index(a)))
+        self.usage[chosen] += 1
+        return chosen

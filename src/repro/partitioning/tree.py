@@ -1,0 +1,289 @@
+"""Partitioning trees.
+
+A partitioning tree (Amoeba [21], Section 3) is a balanced binary tree whose
+internal nodes are ``(attribute, cutpoint)`` pairs and whose leaves are data
+blocks.  Records with ``attribute <= cutpoint`` belong to the left subtree,
+the rest to the right subtree.  The tree answers two questions:
+
+* ``route_rows`` — which block does each record belong to (used when loading
+  and when repartitioning), and
+* ``lookup`` — which blocks can contain rows matching a set of predicates
+  (used for block pruning and as the ``lookup(T, q)`` function of the cost
+  model, equations (1) and (2)).
+
+In AdaptDB a tree may additionally carry a *join attribute*: the top
+``join_levels`` levels split on that attribute (two-phase partitioning,
+Section 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import PartitioningError
+from ..common.predicates import Predicate
+
+
+@dataclass
+class TreeNode:
+    """A node of a partitioning tree.
+
+    Internal nodes have ``attribute``/``cutpoint``/``left``/``right`` set and
+    ``block_id`` unset; leaves are the opposite.
+    """
+
+    attribute: str | None = None
+    cutpoint: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    block_id: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf (i.e. a data block)."""
+        return self.left is None and self.right is None
+
+    def clone(self) -> "TreeNode":
+        """Deep-copy the subtree rooted at this node."""
+        if self.is_leaf:
+            return TreeNode(block_id=self.block_id)
+        assert self.left is not None and self.right is not None
+        return TreeNode(
+            attribute=self.attribute,
+            cutpoint=self.cutpoint,
+            left=self.left.clone(),
+            right=self.right.clone(),
+            block_id=None,
+        )
+
+
+@dataclass
+class PartitioningTree:
+    """A complete partitioning tree for one table (or one join attribute of it).
+
+    Attributes:
+        root: Root node.
+        join_attribute: Join attribute this tree is optimized for (``None``
+            for pure Amoeba trees that only adapt to selections).
+        join_levels: Number of top levels reserved for the join attribute.
+        tree_id: Identifier unique within the owning table.
+    """
+
+    root: TreeNode
+    join_attribute: str | None = None
+    join_levels: int = 0
+    tree_id: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Leaves
+    # ------------------------------------------------------------------ #
+    def leaves(self) -> list[TreeNode]:
+        """All leaf nodes, left to right."""
+        result: list[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                assert node.left is not None and node.right is not None
+                stack.append(node.right)
+                stack.append(node.left)
+        return result
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves (data blocks) in the tree."""
+        return len(self.leaves())
+
+    def block_ids(self) -> list[int]:
+        """Block ids of all leaves that have been bound to blocks."""
+        return [leaf.block_id for leaf in self.leaves() if leaf.block_id is not None]
+
+    def assign_block_ids(self, block_ids: list[int]) -> None:
+        """Bind leaf nodes to DFS block ids, left to right.
+
+        Raises:
+            PartitioningError: if the number of ids differs from the number
+                of leaves.
+        """
+        leaves = self.leaves()
+        if len(block_ids) != len(leaves):
+            raise PartitioningError(
+                f"expected {len(leaves)} block ids, got {len(block_ids)}"
+            )
+        for leaf, block_id in zip(leaves, block_ids):
+            leaf.block_id = block_id
+
+    # ------------------------------------------------------------------ #
+    # Structure inspection
+    # ------------------------------------------------------------------ #
+    def depth(self) -> int:
+        """Depth of the tree (a single leaf has depth 0)."""
+
+        def node_depth(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(node_depth(node.left), node_depth(node.right))
+
+        return node_depth(self.root)
+
+    def attribute_counts(self) -> dict[str, int]:
+        """How many internal nodes split on each attribute."""
+        counts: dict[str, int] = {}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            assert node.attribute is not None
+            counts[node.attribute] = counts.get(node.attribute, 0) + 1
+            assert node.left is not None and node.right is not None
+            stack.append(node.left)
+            stack.append(node.right)
+        return counts
+
+    def clone(self) -> "PartitioningTree":
+        """Deep copy of the tree (shares no nodes with the original)."""
+        return PartitioningTree(
+            root=self.root.clone(),
+            join_attribute=self.join_attribute,
+            join_levels=self.join_levels,
+            tree_id=self.tree_id,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def route_rows(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Route every row to its leaf and return the per-row leaf index.
+
+        The leaf index is the position of the leaf in :meth:`leaves`;
+        callers map it to block ids via :meth:`block_ids` or handle the
+        grouping themselves (as the loader does before block ids exist).
+
+        Args:
+            columns: Column name -> value array; must contain every attribute
+                that appears in the tree.
+
+        Returns:
+            An ``int64`` array of leaf indices, one per row.
+        """
+        leaves = self.leaves()
+        leaf_index = {id(leaf): index for index, leaf in enumerate(leaves)}
+        if not columns:
+            return np.zeros(0, dtype=np.int64)
+        num_rows = len(next(iter(columns.values())))
+        result = np.empty(num_rows, dtype=np.int64)
+
+        def descend(node: TreeNode, row_indices: np.ndarray) -> None:
+            if len(row_indices) == 0 and node.is_leaf:
+                return
+            if node.is_leaf:
+                result[row_indices] = leaf_index[id(node)]
+                return
+            assert node.attribute is not None and node.cutpoint is not None
+            if node.attribute not in columns:
+                raise PartitioningError(
+                    f"cannot route rows: column {node.attribute!r} missing from data"
+                )
+            values = columns[node.attribute][row_indices]
+            goes_left = values <= node.cutpoint
+            assert node.left is not None and node.right is not None
+            descend(node.left, row_indices[goes_left])
+            descend(node.right, row_indices[~goes_left])
+
+        descend(self.root, np.arange(num_rows, dtype=np.int64))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Lookup (block pruning)
+    # ------------------------------------------------------------------ #
+    def lookup(self, predicates: list[Predicate] | None = None) -> list[int]:
+        """Return the block ids of leaves that may contain matching rows.
+
+        This is the ``lookup(T, q)`` function from the paper's cost model.
+        Leaves that are not bound to a block id are skipped.
+        """
+        predicates = predicates or []
+        matched: list[int] = []
+
+        def descend(node: TreeNode, bounds: dict[str, tuple[float, float]]) -> None:
+            if node.is_leaf:
+                if node.block_id is not None:
+                    matched.append(node.block_id)
+                return
+            assert node.attribute is not None and node.cutpoint is not None
+            assert node.left is not None and node.right is not None
+            attribute, cutpoint = node.attribute, node.cutpoint
+
+            lo, hi = bounds.get(attribute, (-math.inf, math.inf))
+            left_bounds = dict(bounds)
+            left_bounds[attribute] = (lo, min(hi, cutpoint))
+            right_bounds = dict(bounds)
+            right_bounds[attribute] = (max(lo, cutpoint), hi)
+
+            if _bounds_may_match(left_bounds, predicates):
+                descend(node.left, left_bounds)
+            if _bounds_may_match(right_bounds, predicates):
+                descend(node.right, right_bounds)
+
+        descend(self.root, {})
+        return matched
+
+    def leaf_bounds(self, attribute: str) -> dict[int, tuple[float, float]]:
+        """Per-leaf value bounds of ``attribute`` implied by the tree structure.
+
+        Returns a mapping ``block_id -> (lo, hi)`` for bound leaves.  Leaves
+        under subtrees that never split on ``attribute`` get infinite bounds.
+        """
+        result: dict[int, tuple[float, float]] = {}
+
+        def descend(node: TreeNode, lo: float, hi: float) -> None:
+            if node.is_leaf:
+                if node.block_id is not None:
+                    result[node.block_id] = (lo, hi)
+                return
+            assert node.left is not None and node.right is not None
+            if node.attribute == attribute:
+                assert node.cutpoint is not None
+                descend(node.left, lo, min(hi, node.cutpoint))
+                descend(node.right, max(lo, node.cutpoint), hi)
+            else:
+                descend(node.left, lo, hi)
+                descend(node.right, lo, hi)
+
+        descend(self.root, -math.inf, math.inf)
+        return result
+
+    def describe(self) -> str:
+        """Multi-line textual rendering of the tree (for debugging/docs)."""
+        lines: list[str] = []
+
+        def render(node: TreeNode, indent: int) -> None:
+            prefix = "  " * indent
+            if node.is_leaf:
+                lines.append(f"{prefix}leaf block={node.block_id}")
+                return
+            lines.append(f"{prefix}{node.attribute} <= {node.cutpoint:g}")
+            assert node.left is not None and node.right is not None
+            render(node.left, indent + 1)
+            render(node.right, indent + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+
+def _bounds_may_match(bounds: dict[str, tuple[float, float]], predicates: list[Predicate]) -> bool:
+    """Whether any value assignment within ``bounds`` can satisfy all predicates."""
+    for predicate in predicates:
+        bound = bounds.get(predicate.column)
+        if bound is None:
+            continue
+        if not predicate.may_match_range(*bound):
+            return False
+    return True

@@ -1,0 +1,22 @@
+"""Distributed storage engine: blocks, the simulated DFS, tables and catalog."""
+
+from .block import Block, compute_ranges, concatenate_columns
+from .catalog import Catalog
+from .dfs import DEFAULT_REPLICATION, DistributedFileSystem, ReadStats
+from .sampling import DEFAULT_SAMPLE_SIZE, sample_columns
+from .table import ColumnTable, RepartitionStats, StoredTable
+
+__all__ = [
+    "Block",
+    "Catalog",
+    "ColumnTable",
+    "DEFAULT_REPLICATION",
+    "DEFAULT_SAMPLE_SIZE",
+    "DistributedFileSystem",
+    "ReadStats",
+    "RepartitionStats",
+    "StoredTable",
+    "compute_ranges",
+    "concatenate_columns",
+    "sample_columns",
+]

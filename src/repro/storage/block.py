@@ -1,0 +1,129 @@
+"""Data blocks.
+
+A block is the unit of storage, placement, pruning and join scheduling —
+the equivalent of a 64 MB HDFS block in the paper.  Blocks store real rows
+(one numpy array per column) so joins can be executed and verified, and they
+carry per-column min/max metadata, which is what the hyper-join overlap
+computation and the partitioning-tree lookup consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import StorageError
+from ..common.predicates import Predicate, rows_matching
+from ..common.schema import Schema
+
+
+def _estimate_bytes(columns: dict[str, np.ndarray]) -> int:
+    """Approximate the on-disk size of a set of column arrays."""
+    return int(sum(array.nbytes for array in columns.values()))
+
+
+@dataclass
+class Block:
+    """A horizontal slice of a table.
+
+    Attributes:
+        block_id: Globally unique identifier assigned by the DFS.
+        table: Name of the table the block belongs to.
+        columns: Column name -> numpy array of values (all equal length).
+        ranges: Column name -> (min, max) over the rows in the block.
+        size_bytes: Approximate size of the block.
+    """
+
+    block_id: int
+    table: str
+    columns: dict[str, np.ndarray]
+    ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        lengths = {len(array) for array in self.columns.values()}
+        if len(lengths) > 1:
+            raise StorageError(f"block {self.block_id}: column lengths differ ({lengths})")
+        if not self.ranges:
+            self.ranges = compute_ranges(self.columns)
+        if not self.size_bytes:
+            self.size_bytes = _estimate_bytes(self.columns)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows stored in the block."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of the stored columns."""
+        return list(self.columns)
+
+    def range_of(self, column: str) -> tuple[float, float]:
+        """Return the (min, max) of ``column`` over the block's rows.
+
+        Raises:
+            StorageError: if the column is absent or the block is empty.
+        """
+        if column not in self.ranges:
+            raise StorageError(f"block {self.block_id} has no range metadata for column {column!r}")
+        return self.ranges[column]
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+    def filtered(self, predicates: list[Predicate]) -> dict[str, np.ndarray]:
+        """Return the columns restricted to rows matching all ``predicates``."""
+        if not predicates:
+            return dict(self.columns)
+        mask = rows_matching(self.columns, predicates)
+        return {name: array[mask] for name, array in self.columns.items()}
+
+    def matching_count(self, predicates: list[Predicate]) -> int:
+        """Number of rows matching all ``predicates``."""
+        if not predicates:
+            return self.num_rows
+        return int(rows_matching(self.columns, predicates).sum())
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array for column ``name``."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise StorageError(f"block {self.block_id} has no column {name!r}") from None
+
+
+def compute_ranges(columns: dict[str, np.ndarray]) -> dict[str, tuple[float, float]]:
+    """Compute per-column (min, max) metadata, skipping empty columns."""
+    ranges: dict[str, tuple[float, float]] = {}
+    for name, array in columns.items():
+        if len(array) == 0:
+            continue
+        ranges[name] = (float(array.min()), float(array.max()))
+    return ranges
+
+
+def concatenate_columns(parts: list[dict[str, np.ndarray]], schema: Schema | None = None) -> dict[str, np.ndarray]:
+    """Concatenate a list of column dictionaries row-wise.
+
+    All parts must share the same column set.  An empty list yields empty
+    arrays for the columns of ``schema`` (or an empty dict without a schema).
+    """
+    if not parts:
+        if schema is None:
+            return {}
+        return {
+            column.name: np.empty(0, dtype=column.dtype.numpy_dtype)
+            for column in schema.columns
+        }
+    names = list(parts[0])
+    for part in parts[1:]:
+        if list(part) != names:
+            raise StorageError("cannot concatenate column sets with differing columns")
+    return {name: np.concatenate([part[name] for part in parts]) for name in names}

@@ -1,0 +1,51 @@
+"""The table catalog: name -> stored table, shared by optimizer and executor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import StorageError
+from .table import StoredTable
+
+
+@dataclass
+class Catalog:
+    """Registry of the tables managed by one AdaptDB instance."""
+
+    _tables: dict[str, StoredTable] = field(default_factory=dict)
+
+    def register(self, table: StoredTable) -> None:
+        """Add a table to the catalog.
+
+        Raises:
+            StorageError: if a table with the same name already exists.
+        """
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> StoredTable:
+        """Return the table named ``name``.
+
+        Raises:
+            StorageError: if the table is unknown.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(f"unknown table {name!r}; registered: {self.table_names}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all registered tables (sorted)."""
+        return sorted(self._tables)
+
+    def tables(self) -> list[StoredTable]:
+        """All registered tables."""
+        return [self._tables[name] for name in self.table_names]

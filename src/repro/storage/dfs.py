@@ -1,0 +1,164 @@
+"""A simulated distributed file system (the paper's HDFS substrate).
+
+The DFS owns every block in the system.  It assigns globally unique block
+ids, places replicas on machines, and is the single point through which block
+reads flow so that locality and I/O statistics can be accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import StorageError
+from ..common.rng import make_rng
+from ..cluster.cluster import Cluster
+from .block import Block
+
+DEFAULT_REPLICATION = 3
+
+
+@dataclass
+class ReadStats:
+    """Accumulated read statistics since the last reset."""
+
+    local_reads: int = 0
+    remote_reads: int = 0
+
+    @property
+    def total_reads(self) -> int:
+        """Total block reads."""
+        return self.local_reads + self.remote_reads
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of local reads (1.0 if nothing was read)."""
+        if self.total_reads == 0:
+            return 1.0
+        return self.local_reads / self.total_reads
+
+
+@dataclass
+class DistributedFileSystem:
+    """Block storage spread over the machines of a :class:`Cluster`.
+
+    Attributes:
+        cluster: The cluster whose machines hold block replicas.
+        replication: Number of replicas per block (capped at cluster size).
+        rng: Random generator used for replica placement.
+    """
+
+    cluster: Cluster
+    replication: int = DEFAULT_REPLICATION
+    rng: np.random.Generator = field(default_factory=make_rng)
+    _blocks: dict[int, Block] = field(default_factory=dict)
+    _placement: dict[int, list[int]] = field(default_factory=dict)
+    _next_block_id: int = 0
+    read_stats: ReadStats = field(default_factory=ReadStats)
+
+    # ------------------------------------------------------------------ #
+    # Block lifecycle
+    # ------------------------------------------------------------------ #
+    def allocate_block_id(self) -> int:
+        """Reserve and return a fresh globally unique block id."""
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        return block_id
+
+    def put_block(self, block: Block) -> int:
+        """Store ``block`` and place its replicas on machines.
+
+        Returns:
+            The block id.
+        """
+        if block.block_id in self._blocks:
+            raise StorageError(f"block {block.block_id} already exists")
+        replicas = min(self.replication, self.cluster.num_machines)
+        machine_ids = list(
+            self.rng.choice(self.cluster.num_machines, size=replicas, replace=False)
+        )
+        self._blocks[block.block_id] = block
+        self._placement[block.block_id] = [int(m) for m in machine_ids]
+        for machine_id in machine_ids:
+            self.cluster.machine(int(machine_id)).stored_blocks.add(block.block_id)
+        return block.block_id
+
+    def create_block(self, table: str, columns: dict[str, np.ndarray]) -> Block:
+        """Allocate an id, build a :class:`Block` for ``table`` and store it."""
+        block = Block(block_id=self.allocate_block_id(), table=table, columns=columns)
+        self.put_block(block)
+        return block
+
+    def delete_block(self, block_id: int) -> None:
+        """Remove a block and all its replicas."""
+        if block_id not in self._blocks:
+            raise StorageError(f"cannot delete unknown block {block_id}")
+        for machine_id in self._placement.pop(block_id):
+            self.cluster.machine(machine_id).stored_blocks.discard(block_id)
+        del self._blocks[block_id]
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def get_block(self, block_id: int, reader_machine: int | None = None) -> Block:
+        """Read a block, accounting locality against ``reader_machine``.
+
+        Args:
+            block_id: The block to read.
+            reader_machine: Machine performing the read.  ``None`` picks a
+                machine round-robin, approximating the scheduler assigning
+                tasks across the cluster.
+        """
+        block = self.peek_block(block_id)
+        if reader_machine is None:
+            reader_machine = block_id % self.cluster.num_machines
+        machine = self.cluster.machine(reader_machine)
+        if machine.record_read(block_id):
+            self.read_stats.local_reads += 1
+        else:
+            self.read_stats.remote_reads += 1
+        return block
+
+    def peek_block(self, block_id: int) -> Block:
+        """Return a block without recording a read (metadata access)."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"unknown block {block_id}") from None
+
+    def has_block(self, block_id: int) -> bool:
+        """Whether ``block_id`` exists."""
+        return block_id in self._blocks
+
+    def replicas_of(self, block_id: int) -> list[int]:
+        """Machine ids holding replicas of ``block_id``."""
+        try:
+            return list(self._placement[block_id])
+        except KeyError:
+            raise StorageError(f"unknown block {block_id}") from None
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def reset_read_stats(self) -> None:
+        """Zero the DFS and per-machine read counters."""
+        self.read_stats = ReadStats()
+        self.cluster.reset_read_counters()
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks currently stored."""
+        return len(self._blocks)
+
+    def blocks_of_table(self, table: str) -> list[int]:
+        """Ids of all blocks belonging to ``table`` (sorted)."""
+        return sorted(block_id for block_id, block in self._blocks.items() if block.table == table)
+
+    def total_bytes(self, table: str | None = None) -> int:
+        """Total stored bytes, optionally restricted to one table."""
+        return sum(
+            block.size_bytes
+            for block in self._blocks.values()
+            if table is None or block.table == table
+        )

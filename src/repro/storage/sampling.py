@@ -1,0 +1,50 @@
+"""Sampling utilities.
+
+Amoeba and AdaptDB choose every cutpoint from a sample of the data rather
+than the full table (Section 3.1); the sample is kept with the table's
+metadata so that new trees (two-phase trees for new join attributes) can be
+built later without rescanning the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import StorageError
+
+DEFAULT_SAMPLE_SIZE = 10_000
+
+
+def sample_columns(
+    columns: dict[str, np.ndarray],
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    rng: np.random.Generator | None = None,
+) -> dict[str, np.ndarray]:
+    """Draw a uniform row sample from a set of column arrays.
+
+    Args:
+        columns: Column name -> value array (equal lengths).
+        sample_size: Maximum number of rows in the sample.  When the table is
+            smaller than this, the full table is returned (copied).
+        rng: Random generator; ``None`` samples deterministically by taking
+            an evenly spaced subset.
+
+    Returns:
+        A new column dictionary containing the sampled rows.
+
+    Raises:
+        StorageError: if the column arrays have differing lengths.
+    """
+    if not columns:
+        return {}
+    lengths = {len(array) for array in columns.values()}
+    if len(lengths) > 1:
+        raise StorageError(f"cannot sample columns with differing lengths: {lengths}")
+    num_rows = lengths.pop()
+    if num_rows <= sample_size:
+        return {name: np.array(array, copy=True) for name, array in columns.items()}
+    if rng is None:
+        indices = np.linspace(0, num_rows - 1, sample_size).astype(np.int64)
+    else:
+        indices = np.sort(rng.choice(num_rows, size=sample_size, replace=False))
+    return {name: array[indices] for name, array in columns.items()}

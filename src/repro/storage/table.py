@@ -1,0 +1,376 @@
+"""Tables: in-memory column tables and partitioned, block-backed stored tables.
+
+A :class:`ColumnTable` is the raw input to the storage manager (what the
+paper loads from raw files on HDFS).  A :class:`StoredTable` is the managed
+form: its rows live in DFS blocks, and each block belongs to exactly one
+*partitioning tree*.  During smooth repartitioning a table temporarily owns
+several trees (one per popular join attribute) and blocks migrate between
+them; the table tracks which blocks belong to which tree and exposes the
+``lookup`` used by the optimizer's cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import PartitioningError, StorageError
+from ..common.predicates import Predicate
+from ..common.schema import Schema
+from ..partitioning.tree import PartitioningTree
+from .block import Block, compute_ranges, concatenate_columns
+from .dfs import DistributedFileSystem
+from .sampling import sample_columns
+
+
+@dataclass
+class ColumnTable:
+    """A full table held in memory as one numpy array per column."""
+
+    name: str
+    schema: Schema
+    columns: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.schema.validate_columns(self.columns)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def sample(self, sample_size: int = 10_000, rng: np.random.Generator | None = None) -> dict[str, np.ndarray]:
+        """Draw a row sample (see :func:`repro.storage.sampling.sample_columns`)."""
+        return sample_columns(self.columns, sample_size, rng)
+
+    def select(self, columns: list[str]) -> dict[str, np.ndarray]:
+        """Return a projection onto ``columns``."""
+        return {name: self.columns[name] for name in columns}
+
+
+@dataclass
+class RepartitionStats:
+    """Bookkeeping for one block-migration operation."""
+
+    source_blocks: int = 0
+    target_blocks_touched: int = 0
+    rows_moved: int = 0
+
+    def merge(self, other: "RepartitionStats") -> None:
+        """Accumulate another operation's counters into this one."""
+        self.source_blocks += other.source_blocks
+        self.target_blocks_touched += other.target_blocks_touched
+        self.rows_moved += other.rows_moved
+
+
+@dataclass
+class StoredTable:
+    """A table managed by the AdaptDB storage engine.
+
+    Attributes:
+        name: Table name.
+        schema: Table schema.
+        dfs: The distributed file system holding the table's blocks.
+        trees: tree_id -> partitioning tree.  Every leaf of every tree is
+            bound to a DFS block (possibly empty).
+        sample: Retained row sample used to build new trees later.
+        rows_per_block: Target rows per block, used to size new trees.
+    """
+
+    name: str
+    schema: Schema
+    dfs: DistributedFileSystem
+    trees: dict[int, PartitioningTree] = field(default_factory=dict)
+    sample: dict[str, np.ndarray] = field(default_factory=dict)
+    rows_per_block: int = 4096
+    _block_to_tree: dict[int, int] = field(default_factory=dict)
+    _next_tree_id: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(
+        cls,
+        table: ColumnTable,
+        dfs: DistributedFileSystem,
+        tree: PartitioningTree,
+        rows_per_block: int = 4096,
+        sample_size: int = 10_000,
+        rng: np.random.Generator | None = None,
+    ) -> "StoredTable":
+        """Partition ``table`` with ``tree`` and store its blocks in ``dfs``.
+
+        The tree's leaves must be unbound; they are bound to freshly created
+        blocks during loading.
+        """
+        stored = cls(
+            name=table.name,
+            schema=table.schema,
+            dfs=dfs,
+            sample=table.sample(sample_size, rng),
+            rows_per_block=rows_per_block,
+        )
+        stored._materialize_tree(tree, table.columns)
+        return stored
+
+    def _materialize_tree(self, tree: PartitioningTree, columns: dict[str, np.ndarray]) -> int:
+        """Bind ``tree``'s leaves to new blocks filled with ``columns``' rows."""
+        tree_id = self._next_tree_id
+        self._next_tree_id += 1
+        tree.tree_id = tree_id
+
+        leaf_indices = tree.route_rows(columns) if columns else np.zeros(0, dtype=np.int64)
+        num_leaves = tree.num_leaves
+        block_ids: list[int] = []
+        for leaf in range(num_leaves):
+            row_mask = leaf_indices == leaf
+            leaf_columns = {
+                name: np.asarray(array[row_mask]) for name, array in columns.items()
+            } if columns else self._empty_columns()
+            block = self.dfs.create_block(self.name, leaf_columns)
+            block_ids.append(block.block_id)
+            self._block_to_tree[block.block_id] = tree_id
+        tree.assign_block_ids(block_ids)
+        self.trees[tree_id] = tree
+        return tree_id
+
+    def _empty_columns(self) -> dict[str, np.ndarray]:
+        """Zero-row column arrays matching the schema."""
+        return {
+            column.name: np.empty(0, dtype=column.dtype.numpy_dtype)
+            for column in self.schema.columns
+        }
+
+    # ------------------------------------------------------------------ #
+    # Tree management
+    # ------------------------------------------------------------------ #
+    def add_empty_tree(self, tree: PartitioningTree) -> int:
+        """Register a new (initially empty) partitioning tree.
+
+        Every leaf is bound to a freshly created empty block; rows arrive
+        later via :meth:`move_blocks`.
+
+        Returns:
+            The id assigned to the new tree.
+        """
+        return self._materialize_tree(tree, {})
+
+    def tree(self, tree_id: int) -> PartitioningTree:
+        """Return the tree with the given id."""
+        try:
+            return self.trees[tree_id]
+        except KeyError:
+            raise PartitioningError(f"table {self.name!r} has no tree {tree_id}") from None
+
+    def tree_of_block(self, block_id: int) -> int:
+        """Return the id of the tree owning ``block_id``."""
+        try:
+            return self._block_to_tree[block_id]
+        except KeyError:
+            raise StorageError(f"block {block_id} does not belong to table {self.name!r}") from None
+
+    def tree_for_join_attribute(self, attribute: str) -> int | None:
+        """Id of the tree whose join attribute is ``attribute`` (or ``None``)."""
+        for tree_id, tree in self.trees.items():
+            if tree.join_attribute == attribute:
+                return tree_id
+        return None
+
+    @property
+    def num_trees(self) -> int:
+        """Number of partitioning trees currently maintained."""
+        return len(self.trees)
+
+    # ------------------------------------------------------------------ #
+    # Block access
+    # ------------------------------------------------------------------ #
+    def block_ids(self, tree_id: int | None = None) -> list[int]:
+        """All block ids of the table, optionally restricted to one tree."""
+        if tree_id is None:
+            return sorted(self._block_to_tree)
+        return [
+            block_id
+            for block_id, owner in sorted(self._block_to_tree.items())
+            if owner == tree_id
+        ]
+
+    def non_empty_block_ids(self, tree_id: int | None = None) -> list[int]:
+        """Block ids that currently contain at least one row."""
+        return [
+            block_id
+            for block_id in self.block_ids(tree_id)
+            if self.dfs.peek_block(block_id).num_rows > 0
+        ]
+
+    def lookup(
+        self,
+        predicates: list[Predicate] | None = None,
+        tree_id: int | None = None,
+        include_empty: bool = False,
+    ) -> list[int]:
+        """Blocks that may contain rows matching ``predicates``.
+
+        This is the cost model's ``lookup(T, q)``: the union over the table's
+        trees (or a single tree) of the tree-pruned block sets.  Empty blocks
+        are excluded by default since they incur no I/O.
+        """
+        tree_ids = [tree_id] if tree_id is not None else list(self.trees)
+        matched: list[int] = []
+        for tid in tree_ids:
+            matched.extend(self.tree(tid).lookup(predicates))
+        if include_empty:
+            return matched
+        return [
+            block_id
+            for block_id in matched
+            if self.dfs.peek_block(block_id).num_rows > 0
+        ]
+
+    def rows_under_tree(self, tree_id: int) -> int:
+        """Total number of rows stored under a tree."""
+        return sum(
+            self.dfs.peek_block(block_id).num_rows for block_id in self.block_ids(tree_id)
+        )
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows stored across all trees."""
+        return sum(self.rows_under_tree(tree_id) for tree_id in self.trees)
+
+    def tree_row_fractions(self) -> dict[int, float]:
+        """Fraction of the table's rows held by each tree."""
+        total = self.total_rows
+        if total == 0:
+            return {tree_id: 0.0 for tree_id in self.trees}
+        return {tree_id: self.rows_under_tree(tree_id) / total for tree_id in self.trees}
+
+    # ------------------------------------------------------------------ #
+    # Block migration (smooth repartitioning / full repartitioning)
+    # ------------------------------------------------------------------ #
+    def move_blocks(self, block_ids: list[int], target_tree_id: int) -> RepartitionStats:
+        """Move the rows of ``block_ids`` into the blocks of ``target_tree_id``.
+
+        Each source block is read, its rows are routed through the target
+        tree and appended to the target tree's blocks (HDFS-append style, as
+        in the paper), and the source block is emptied.  Source blocks
+        already owned by the target tree are skipped.
+
+        Returns:
+            A :class:`RepartitionStats` describing the work performed.
+        """
+        target_tree = self.tree(target_tree_id)
+        target_block_ids = target_tree.block_ids()
+        stats = RepartitionStats()
+        touched_targets: set[int] = set()
+
+        for block_id in block_ids:
+            if self.tree_of_block(block_id) == target_tree_id:
+                continue
+            source = self.dfs.peek_block(block_id)
+            if source.num_rows == 0:
+                continue
+            leaf_indices = target_tree.route_rows(source.columns)
+            stats.source_blocks += 1
+            stats.rows_moved += source.num_rows
+            for leaf_position in np.unique(leaf_indices):
+                row_mask = leaf_indices == leaf_position
+                rows = {name: array[row_mask] for name, array in source.columns.items()}
+                target_id = target_block_ids[int(leaf_position)]
+                self._append_rows(target_id, rows)
+                touched_targets.add(target_id)
+            self._clear_block(block_id)
+
+        stats.target_blocks_touched = len(touched_targets)
+        return stats
+
+    def _append_rows(self, block_id: int, rows: dict[str, np.ndarray]) -> None:
+        """Append ``rows`` to an existing block and refresh its metadata."""
+        block = self.dfs.peek_block(block_id)
+        merged = concatenate_columns([block.columns, rows]) if block.num_rows else dict(rows)
+        block.columns = merged
+        block.ranges = compute_ranges(merged)
+        block.size_bytes = int(sum(array.nbytes for array in merged.values()))
+
+    def _clear_block(self, block_id: int) -> None:
+        """Empty a block in place (its rows have been migrated elsewhere)."""
+        block = self.dfs.peek_block(block_id)
+        block.columns = self._empty_columns()
+        block.ranges = {}
+        block.size_bytes = 0
+
+    def drop_empty_trees(self) -> list[int]:
+        """Remove trees that no longer hold any rows (keeping at least one tree).
+
+        Returns:
+            The ids of the removed trees.
+        """
+        removable = [
+            tree_id for tree_id in self.trees if self.rows_under_tree(tree_id) == 0
+        ]
+        if len(removable) == len(self.trees):
+            removable = removable[:-1]
+        removed: list[int] = []
+        for tree_id in removable:
+            for block_id in self.block_ids(tree_id):
+                self.dfs.delete_block(block_id)
+                del self._block_to_tree[block_id]
+            del self.trees[tree_id]
+            removed.append(tree_id)
+        return removed
+
+    def replace_with_tree(self, tree: PartitioningTree) -> RepartitionStats:
+        """Repartition the *entire* table under a single new tree.
+
+        Used by the full-repartitioning baseline and by Amoeba-style tree
+        refinement: all existing rows are read, routed through the new tree,
+        and the old trees are dropped.
+        """
+        all_columns = concatenate_columns(
+            [
+                self.dfs.peek_block(block_id).columns
+                for block_id in self.non_empty_block_ids()
+            ],
+            self.schema,
+        )
+        old_block_ids = self.block_ids()
+        old_tree_ids = list(self.trees)
+        num_source_blocks = len(self.non_empty_block_ids())
+
+        for block_id in old_block_ids:
+            self.dfs.delete_block(block_id)
+            del self._block_to_tree[block_id]
+        for tree_id in old_tree_ids:
+            del self.trees[tree_id]
+
+        self._materialize_tree(tree, all_columns)
+        rows_moved = len(next(iter(all_columns.values()))) if all_columns else 0
+        return RepartitionStats(
+            source_blocks=num_source_blocks,
+            target_blocks_touched=tree.num_leaves,
+            rows_moved=rows_moved,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    def join_range_of_block(self, block_id: int, attribute: str) -> tuple[float, float] | None:
+        """The (min, max) of ``attribute`` in ``block_id`` or ``None`` if empty."""
+        block = self.dfs.peek_block(block_id)
+        if block.num_rows == 0 or attribute not in block.ranges:
+            return None
+        return block.range_of(attribute)
+
+    def describe(self) -> str:
+        """Human-readable summary of the table's trees and block counts."""
+        lines = [f"table {self.name}: {self.total_rows} rows, {len(self.trees)} tree(s)"]
+        for tree_id, tree in self.trees.items():
+            lines.append(
+                f"  tree {tree_id}: join_attribute={tree.join_attribute!r} "
+                f"join_levels={tree.join_levels} blocks={len(self.block_ids(tree_id))} "
+                f"rows={self.rows_under_tree(tree_id)}"
+            )
+        return "\n".join(lines)

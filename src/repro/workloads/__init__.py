@@ -1,0 +1,37 @@
+"""Workloads: TPC-H and CMT data generators, query templates, workload patterns."""
+
+from .cmt import CMT_BASE_ROWS, CMT_SCHEMAS, CMTGenerator
+from .generators import (
+    repeated_template_workload,
+    shifting_workload,
+    switching_workload,
+    template_boundaries,
+    window_sensitivity_workload,
+)
+from .tpch import BASE_ROWS, TPCH_SCHEMAS, TPCHGenerator
+from .tpch_queries import (
+    EVALUATED_TEMPLATES,
+    JOIN_TEMPLATES,
+    TEMPLATE_FUNCTIONS,
+    tables_for_templates,
+    tpch_query,
+)
+
+__all__ = [
+    "BASE_ROWS",
+    "CMT_BASE_ROWS",
+    "CMT_SCHEMAS",
+    "CMTGenerator",
+    "EVALUATED_TEMPLATES",
+    "JOIN_TEMPLATES",
+    "TEMPLATE_FUNCTIONS",
+    "TPCHGenerator",
+    "TPCH_SCHEMAS",
+    "repeated_template_workload",
+    "shifting_workload",
+    "switching_workload",
+    "tables_for_templates",
+    "template_boundaries",
+    "tpch_query",
+    "window_sensitivity_workload",
+]

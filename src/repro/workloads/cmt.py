@@ -1,0 +1,260 @@
+"""Synthetic CMT (Cambridge Mobile Telematics) dataset and query trace (Section 7.6).
+
+The paper's real workload is proprietary: a 205 GB telematics dataset (a
+large trips fact table plus dimension tables with processed results) and a
+103-query production trace of exploratory analysis.  The paper itself ran on
+a *synthetic version of the data generated from the company's statistics*;
+this module does the same from the qualitative description in the paper:
+
+* ``trips`` — one row per recorded trip (user, time range, sensor summaries),
+* ``trip_history`` — every historical processing result for each trip,
+* ``trip_latest`` — the most recent processing result for each trip,
+* a 103-query trace in which most queries look up trips (by user and time
+  range) joined with their processing history, a smaller number touch the
+  latest results, and a batch of queries around positions 30-50 fetches a
+  large fraction of the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import WorkloadError
+from ..common.predicates import between, eq, ge
+from ..common.query import JoinClause, Query
+from ..common.rng import derive_rng, make_rng
+from ..common.schema import DataType, Schema
+from ..storage.table import ColumnTable
+
+#: Rows per table at ``scale=1.0``.
+CMT_BASE_ROWS = {
+    "trips": 40_000,
+    "trip_history": 120_000,
+    "trip_latest": 40_000,
+}
+
+#: Seconds in the simulated collection period (about 90 days).
+TIME_DOMAIN = 90 * 24 * 3600
+
+NUM_USERS = 2_000
+NUM_PHONE_MODELS = 30
+NUM_PROCESS_VERSIONS = 5
+
+TRIPS_SCHEMA = Schema.of(
+    ("trip_id", DataType.INT),
+    ("user_id", DataType.INT),
+    ("start_time", DataType.INT),
+    ("end_time", DataType.INT),
+    ("distance_km", DataType.FLOAT),
+    ("avg_velocity", DataType.FLOAT),
+    ("max_velocity", DataType.FLOAT),
+    ("max_accel", DataType.FLOAT),
+    ("max_brake", DataType.FLOAT),
+    ("battery_drain", DataType.FLOAT),
+    ("phone_model", DataType.CATEGORY),
+    ("night_fraction", DataType.FLOAT),
+    ("highway_fraction", DataType.FLOAT),
+    ("phone_motion_events", DataType.INT),
+    ("hard_brake_events", DataType.INT),
+    ("speeding_events", DataType.INT),
+)
+
+TRIP_HISTORY_SCHEMA = Schema.of(
+    ("trip_id", DataType.INT),
+    ("processed_at", DataType.INT),
+    ("version", DataType.CATEGORY),
+    ("score", DataType.FLOAT),
+    ("distraction_score", DataType.FLOAT),
+    ("speeding_score", DataType.FLOAT),
+    ("braking_score", DataType.FLOAT),
+)
+
+TRIP_LATEST_SCHEMA = Schema.of(
+    ("trip_id", DataType.INT),
+    ("processed_at", DataType.INT),
+    ("score", DataType.FLOAT),
+    ("distraction_score", DataType.FLOAT),
+    ("speeding_score", DataType.FLOAT),
+)
+
+CMT_SCHEMAS = {
+    "trips": TRIPS_SCHEMA,
+    "trip_history": TRIP_HISTORY_SCHEMA,
+    "trip_latest": TRIP_LATEST_SCHEMA,
+}
+
+_TRIPS_HISTORY = JoinClause("trips", "trip_history", "trip_id", "trip_id")
+_TRIPS_LATEST = JoinClause("trips", "trip_latest", "trip_id", "trip_id")
+
+
+@dataclass
+class CMTGenerator:
+    """Generates the synthetic CMT tables and the 103-query exploratory trace.
+
+    Attributes:
+        scale: Size multiplier (``1.0`` = 40 000 trips).
+        seed: Seed for deterministic generation.
+    """
+
+    scale: float = 1.0
+    seed: int = 20150419
+    rng: np.random.Generator = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise WorkloadError("CMT scale must be positive")
+        self.rng = make_rng(self.seed)
+
+    def rows_for(self, table: str) -> int:
+        """Rows generated for ``table`` at the configured scale."""
+        try:
+            return max(1, int(round(CMT_BASE_ROWS[table] * self.scale)))
+        except KeyError:
+            raise WorkloadError(f"unknown CMT table {table!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Data
+    # ------------------------------------------------------------------ #
+    def generate(self) -> dict[str, ColumnTable]:
+        """Generate the three CMT tables."""
+        trips = self._generate_trips()
+        history = self._generate_history(trips)
+        latest = self._generate_latest(trips)
+        return {"trips": trips, "trip_history": history, "trip_latest": latest}
+
+    def _generate_trips(self) -> ColumnTable:
+        rng = derive_rng(self.rng, "trips")
+        rows = self.rows_for("trips")
+        start = rng.integers(0, TIME_DOMAIN, size=rows)
+        duration = rng.integers(300, 7_200, size=rows)
+        distance = np.round(rng.gamma(2.0, 8.0, size=rows), 2)
+        avg_velocity = np.round(rng.uniform(15.0, 90.0, size=rows), 1)
+        columns = {
+            "trip_id": np.arange(1, rows + 1, dtype=np.int64),
+            "user_id": rng.integers(1, NUM_USERS + 1, size=rows),
+            "start_time": start,
+            "end_time": start + duration,
+            "distance_km": distance,
+            "avg_velocity": avg_velocity,
+            "max_velocity": np.round(avg_velocity * rng.uniform(1.1, 1.8, size=rows), 1),
+            "max_accel": np.round(rng.uniform(0.5, 5.0, size=rows), 2),
+            "max_brake": np.round(rng.uniform(0.5, 6.0, size=rows), 2),
+            "battery_drain": np.round(rng.uniform(0.0, 25.0, size=rows), 1),
+            "phone_model": rng.integers(0, NUM_PHONE_MODELS, size=rows),
+            "night_fraction": np.round(rng.beta(1.0, 4.0, size=rows), 3),
+            "highway_fraction": np.round(rng.beta(2.0, 2.0, size=rows), 3),
+            "phone_motion_events": rng.poisson(1.5, size=rows),
+            "hard_brake_events": rng.poisson(0.8, size=rows),
+            "speeding_events": rng.poisson(1.2, size=rows),
+        }
+        return ColumnTable("trips", TRIPS_SCHEMA, columns)
+
+    def _generate_history(self, trips: ColumnTable) -> ColumnTable:
+        rng = derive_rng(self.rng, "history")
+        rows = self.rows_for("trip_history")
+        trip_ids = trips.columns["trip_id"]
+        picked = rng.integers(0, len(trip_ids), size=rows)
+        columns = {
+            "trip_id": trip_ids[picked].astype(np.int64),
+            "processed_at": trips.columns["end_time"][picked] + rng.integers(60, 86_400, size=rows),
+            "version": rng.integers(0, NUM_PROCESS_VERSIONS, size=rows),
+            "score": np.round(rng.uniform(0.0, 100.0, size=rows), 1),
+            "distraction_score": np.round(rng.uniform(0.0, 100.0, size=rows), 1),
+            "speeding_score": np.round(rng.uniform(0.0, 100.0, size=rows), 1),
+            "braking_score": np.round(rng.uniform(0.0, 100.0, size=rows), 1),
+        }
+        return ColumnTable("trip_history", TRIP_HISTORY_SCHEMA, columns)
+
+    def _generate_latest(self, trips: ColumnTable) -> ColumnTable:
+        rng = derive_rng(self.rng, "latest")
+        rows = self.rows_for("trip_latest")
+        trip_ids = trips.columns["trip_id"][:rows]
+        columns = {
+            "trip_id": trip_ids.astype(np.int64),
+            "processed_at": trips.columns["end_time"][:rows] + rng.integers(60, 86_400, size=rows),
+            "score": np.round(rng.uniform(0.0, 100.0, size=rows), 1),
+            "distraction_score": np.round(rng.uniform(0.0, 100.0, size=rows), 1),
+            "speeding_score": np.round(rng.uniform(0.0, 100.0, size=rows), 1),
+        }
+        return ColumnTable("trip_latest", TRIP_LATEST_SCHEMA, columns)
+
+    # ------------------------------------------------------------------ #
+    # Query trace
+    # ------------------------------------------------------------------ #
+    def query_trace(self, num_queries: int = 103) -> list[Query]:
+        """The synthetic exploratory-analysis trace (103 queries by default).
+
+        Query mix, following the paper's description:
+
+        * ~60 % — look up one user's trips in a time range, joined with the
+          trip's processing history,
+        * ~15 % — metadata-only scans of ``trips``,
+        * ~15 % — trips joined with the latest processed result,
+        * queries 30-50 — a batch fetching a large fraction of the data
+          (wide time range, no user filter).
+        """
+        rng = derive_rng(self.rng, "trace")
+        queries: list[Query] = []
+        for index in range(num_queries):
+            if 30 <= index < 50:
+                queries.append(self._large_fraction_query(rng))
+                continue
+            roll = rng.uniform()
+            if roll < 0.60:
+                queries.append(self._user_history_query(rng))
+            elif roll < 0.75:
+                queries.append(self._trip_scan_query(rng))
+            else:
+                queries.append(self._latest_result_query(rng))
+        return queries
+
+    def _user_history_query(self, rng: np.random.Generator) -> Query:
+        user = int(rng.integers(1, NUM_USERS + 1))
+        start = int(rng.integers(0, TIME_DOMAIN - 7 * 86_400))
+        return Query(
+            tables=["trips", "trip_history"],
+            predicates={
+                "trips": [eq("user_id", user), between("start_time", start, start + 7 * 86_400)],
+            },
+            joins=[_TRIPS_HISTORY],
+            template="cmt_user_history",
+        )
+
+    def _trip_scan_query(self, rng: np.random.Generator) -> Query:
+        start = int(rng.integers(0, TIME_DOMAIN - 86_400))
+        return Query(
+            tables=["trips"],
+            predicates={
+                "trips": [
+                    between("start_time", start, start + 86_400),
+                    ge("speeding_events", 2),
+                ],
+            },
+            joins=[],
+            template="cmt_trip_scan",
+        )
+
+    def _latest_result_query(self, rng: np.random.Generator) -> Query:
+        user = int(rng.integers(1, NUM_USERS + 1))
+        return Query(
+            tables=["trips", "trip_latest"],
+            predicates={
+                "trips": [eq("user_id", user)],
+                "trip_latest": [ge("score", 50.0)],
+            },
+            joins=[_TRIPS_LATEST],
+            template="cmt_latest",
+        )
+
+    def _large_fraction_query(self, rng: np.random.Generator) -> Query:
+        start = int(rng.integers(0, TIME_DOMAIN // 3))
+        return Query(
+            tables=["trips", "trip_history"],
+            predicates={
+                "trips": [between("start_time", start, start + TIME_DOMAIN // 2)],
+            },
+            joins=[_TRIPS_HISTORY],
+            template="cmt_batch",
+        )

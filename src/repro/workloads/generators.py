@@ -1,0 +1,103 @@
+"""Workload pattern generators used in the adaptive-repartitioning experiments.
+
+Section 7.3 evaluates two changing-workload patterns over the eight TPC-H
+templates:
+
+* the *switching* workload runs 20 queries per template and switches
+  template abruptly (160 queries in total), and
+* the *shifting* workload transitions gradually between consecutive
+  templates, increasing the probability of the next template by 1/20 per
+  query (140 queries in total).
+
+Section 7.4's window-size experiment uses a 70-query workload that shifts
+q14 → q19 → q14.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import WorkloadError
+from ..common.query import Query
+from ..common.rng import make_rng
+from .tpch_queries import EVALUATED_TEMPLATES, tpch_query
+
+
+def repeated_template_workload(
+    template: str,
+    num_queries: int,
+    rng: np.random.Generator | None = None,
+) -> list[Query]:
+    """``num_queries`` instances of one template with randomized parameters."""
+    rng = rng if rng is not None else make_rng()
+    return [tpch_query(template, rng) for _ in range(num_queries)]
+
+
+def switching_workload(
+    templates: list[str] | None = None,
+    queries_per_template: int = 20,
+    rng: np.random.Generator | None = None,
+) -> list[Query]:
+    """The paper's switching workload: run each template back-to-back.
+
+    Defaults reproduce the 160-query workload of Figure 13(a).
+    """
+    rng = rng if rng is not None else make_rng()
+    templates = templates or list(EVALUATED_TEMPLATES)
+    if queries_per_template < 1:
+        raise WorkloadError("queries_per_template must be at least 1")
+    queries: list[Query] = []
+    for template in templates:
+        queries.extend(tpch_query(template, rng) for _ in range(queries_per_template))
+    return queries
+
+
+def shifting_workload(
+    templates: list[str] | None = None,
+    transition_length: int = 20,
+    rng: np.random.Generator | None = None,
+) -> list[Query]:
+    """The paper's shifting workload: gradual transition between templates.
+
+    During a transition of length ``L`` from template ``a`` to template
+    ``b``, the probability of drawing ``b`` increases by ``1/L`` after each
+    query.  Defaults reproduce the 140-query workload of Figure 13(b).
+    """
+    rng = rng if rng is not None else make_rng()
+    templates = templates or list(EVALUATED_TEMPLATES)
+    if len(templates) < 2:
+        raise WorkloadError("a shifting workload needs at least two templates")
+    if transition_length < 1:
+        raise WorkloadError("transition_length must be at least 1")
+
+    queries: list[Query] = []
+    for current, upcoming in zip(templates, templates[1:]):
+        for step in range(transition_length):
+            probability_next = (step + 1) / transition_length
+            template = upcoming if rng.uniform() < probability_next else current
+            queries.append(tpch_query(template, rng))
+    return queries
+
+
+def window_sensitivity_workload(rng: np.random.Generator | None = None) -> list[Query]:
+    """The 70-query q14 ↔ q19 workload of the window-size experiment (Figure 15).
+
+    10 × q14, 20-query shift to q19, 10 × q19, 20-query shift back, 10 × q14.
+    """
+    rng = rng if rng is not None else make_rng()
+    queries: list[Query] = []
+    queries.extend(tpch_query("q14", rng) for _ in range(10))
+    for step in range(20):
+        template = "q19" if rng.uniform() < (step + 1) / 20 else "q14"
+        queries.append(tpch_query(template, rng))
+    queries.extend(tpch_query("q19", rng) for _ in range(10))
+    for step in range(20):
+        template = "q14" if rng.uniform() < (step + 1) / 20 else "q19"
+        queries.append(tpch_query(template, rng))
+    queries.extend(tpch_query("q14", rng) for _ in range(10))
+    return queries
+
+
+def template_boundaries(templates: list[str], queries_per_template: int) -> list[int]:
+    """Query indices at which the switching workload changes template."""
+    return [index * queries_per_template for index in range(1, len(templates))]

@@ -1,0 +1,238 @@
+"""The eight TPC-H query templates evaluated in the paper (Section 7.1).
+
+The paper uses q3, q5, q6, q8, q10, q12, q14 and q19: the templates that
+touch ``lineitem`` and have selective filters.  Each template function
+produces a :class:`repro.common.Query` with randomized parameter values, the
+same join structure as the original SQL, and selection predicates on the
+generated (integer-coded) columns.
+
+Join clauses are listed in the paper's join order, so the *first* clause
+involving a table defines the join attribute the adaptive repartitioner
+tracks for it (e.g. ``lineitem`` adapts towards ``l_orderkey`` for q3/q5/q8/
+q10/q12 and towards ``l_partkey`` for q14/q19).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import WorkloadError
+from ..common.predicates import between, eq, ge, gt, isin, le, lt
+from ..common.query import JoinClause, Query
+from ..common.rng import make_rng
+from .tpch import (
+    DATE_DOMAIN_DAYS,
+    NUM_BRANDS,
+    NUM_MARKET_SEGMENTS,
+    NUM_PART_TYPES,
+    NUM_SHIP_MODES,
+)
+
+#: Templates used in the evaluation, in the order of Figure 13(a).
+EVALUATED_TEMPLATES = ["q3", "q5", "q6", "q8", "q10", "q12", "q14", "q19"]
+
+#: Templates that contain at least one join (q6 is scan-only).
+JOIN_TEMPLATES = ["q3", "q5", "q8", "q10", "q12", "q14", "q19"]
+
+_L_ORDERS = JoinClause("lineitem", "orders", "l_orderkey", "o_orderkey")
+_O_CUSTOMER = JoinClause("orders", "customer", "o_custkey", "c_custkey")
+_L_PART = JoinClause("lineitem", "part", "l_partkey", "p_partkey")
+_L_SUPPLIER = JoinClause("lineitem", "supplier", "l_suppkey", "s_suppkey")
+
+
+def _rng(rng: np.random.Generator | None) -> np.random.Generator:
+    return rng if rng is not None else make_rng()
+
+
+def q3(rng: np.random.Generator | None = None) -> Query:
+    """Shipping-priority query: customer ⋈ orders ⋈ lineitem, selective dates."""
+    rng = _rng(rng)
+    segment = int(rng.integers(0, NUM_MARKET_SEGMENTS))
+    cutoff = int(rng.integers(800, 1_400))
+    return Query(
+        tables=["lineitem", "orders", "customer"],
+        predicates={
+            "customer": [eq("c_mktsegment", segment)],
+            "orders": [lt("o_orderdate", cutoff)],
+            "lineitem": [gt("l_shipdate", cutoff)],
+        },
+        joins=[_L_ORDERS, _O_CUSTOMER],
+        template="q3",
+    )
+
+
+def q5(rng: np.random.Generator | None = None) -> Query:
+    """Local-supplier volume: no predicate on lineitem, one-year order window."""
+    rng = _rng(rng)
+    start = int(rng.integers(0, DATE_DOMAIN_DAYS - 365))
+    return Query(
+        tables=["lineitem", "orders", "customer", "supplier"],
+        predicates={
+            "orders": [between("o_orderdate", start, start + 365)],
+        },
+        joins=[_L_ORDERS, _O_CUSTOMER, _L_SUPPLIER],
+        template="q5",
+    )
+
+
+def q6(rng: np.random.Generator | None = None) -> Query:
+    """Forecasting-revenue-change: scan of lineitem with three selective filters."""
+    rng = _rng(rng)
+    start = int(rng.integers(0, DATE_DOMAIN_DAYS - 365))
+    discount = round(float(rng.uniform(0.02, 0.09)), 2)
+    return Query(
+        tables=["lineitem"],
+        predicates={
+            "lineitem": [
+                between("l_shipdate", start, start + 365),
+                between("l_discount", discount - 0.01, discount + 0.01),
+                lt("l_quantity", 24),
+            ],
+        },
+        joins=[],
+        template="q6",
+    )
+
+
+def q8(rng: np.random.Generator | None = None) -> Query:
+    """National market share: lineitem ⋈ part ⋈ orders ⋈ customer."""
+    rng = _rng(rng)
+    part_type = int(rng.integers(0, NUM_PART_TYPES))
+    start = int(rng.integers(0, DATE_DOMAIN_DAYS - 730))
+    return Query(
+        tables=["lineitem", "part", "orders", "customer"],
+        predicates={
+            "part": [eq("p_type", part_type)],
+            "orders": [between("o_orderdate", start, start + 730)],
+        },
+        joins=[_L_PART, _L_ORDERS, _O_CUSTOMER],
+        template="q8",
+    )
+
+
+def q10(rng: np.random.Generator | None = None) -> Query:
+    """Returned-item reporting: three-month order window, returned lineitems."""
+    rng = _rng(rng)
+    start = int(rng.integers(0, DATE_DOMAIN_DAYS - 92))
+    return Query(
+        tables=["lineitem", "orders", "customer"],
+        predicates={
+            "orders": [between("o_orderdate", start, start + 92)],
+            "lineitem": [eq("l_returnflag", 1)],
+        },
+        joins=[_L_ORDERS, _O_CUSTOMER],
+        template="q10",
+    )
+
+
+def q10_without_customer(rng: np.random.Generator | None = None) -> Query:
+    """The Figure 16(a) variant of q10: customer is dropped, both remaining tables filtered."""
+    rng = _rng(rng)
+    start = int(rng.integers(0, DATE_DOMAIN_DAYS - 92))
+    return Query(
+        tables=["lineitem", "orders"],
+        predicates={
+            "orders": [between("o_orderdate", start, start + 92)],
+            "lineitem": [eq("l_returnflag", 1)],
+        },
+        joins=[_L_ORDERS],
+        template="q10_no_customer",
+    )
+
+
+def q12(rng: np.random.Generator | None = None) -> Query:
+    """Shipping-modes query: lineitem ⋈ orders with selective lineitem filters."""
+    rng = _rng(rng)
+    modes = rng.choice(NUM_SHIP_MODES, size=2, replace=False)
+    start = int(rng.integers(0, DATE_DOMAIN_DAYS - 365))
+    return Query(
+        tables=["lineitem", "orders"],
+        predicates={
+            "lineitem": [
+                isin("l_shipmode", (int(modes[0]), int(modes[1]))),
+                between("l_receiptdate", start, start + 365),
+            ],
+        },
+        joins=[_L_ORDERS],
+        template="q12",
+    )
+
+
+def q14(rng: np.random.Generator | None = None) -> Query:
+    """Promotion effect: lineitem ⋈ part over a one-month shipdate window."""
+    rng = _rng(rng)
+    start = int(rng.integers(0, DATE_DOMAIN_DAYS - 31))
+    return Query(
+        tables=["lineitem", "part"],
+        predicates={
+            "lineitem": [between("l_shipdate", start, start + 31)],
+        },
+        joins=[_L_PART],
+        template="q14",
+    )
+
+
+def q19(rng: np.random.Generator | None = None) -> Query:
+    """Discounted-revenue query: lineitem ⋈ part with many selective filters."""
+    rng = _rng(rng)
+    brand = int(rng.integers(0, NUM_BRANDS))
+    quantity_low = int(rng.integers(1, 11))
+    return Query(
+        tables=["lineitem", "part"],
+        predicates={
+            "lineitem": [
+                eq("l_shipinstruct", 0),
+                between("l_quantity", quantity_low, quantity_low + 10),
+                isin("l_shipmode", (0, 1)),
+            ],
+            "part": [
+                eq("p_brand", brand),
+                between("p_size", 1, 15),
+            ],
+        },
+        joins=[_L_PART],
+        template="q19",
+    )
+
+
+TEMPLATE_FUNCTIONS = {
+    "q3": q3,
+    "q5": q5,
+    "q6": q6,
+    "q8": q8,
+    "q10": q10,
+    "q10_no_customer": q10_without_customer,
+    "q12": q12,
+    "q14": q14,
+    "q19": q19,
+}
+
+
+def tpch_query(template: str, rng: np.random.Generator | None = None) -> Query:
+    """Instantiate a TPC-H query template with randomized parameters.
+
+    Args:
+        template: One of ``q3, q5, q6, q8, q10, q10_no_customer, q12, q14, q19``.
+        rng: Random generator for parameter selection (defaults to the
+            library seed).
+
+    Raises:
+        WorkloadError: for an unknown template name.
+    """
+    try:
+        factory = TEMPLATE_FUNCTIONS[template]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown TPC-H template {template!r}; choose from {sorted(TEMPLATE_FUNCTIONS)}"
+        ) from None
+    return factory(rng)
+
+
+def tables_for_templates(templates: list[str]) -> list[str]:
+    """The set of TPC-H tables needed to run the given templates."""
+    needed: set[str] = set()
+    rng = make_rng(0)
+    for template in templates:
+        needed.update(tpch_query(template, rng).tables)
+    order = ["lineitem", "orders", "customer", "part", "supplier"]
+    return [table for table in order if table in needed]

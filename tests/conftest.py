@@ -1,0 +1,87 @@
+"""Shared fixtures for the AdaptDB reproduction test suite.
+
+All fixtures are intentionally small (a few thousand rows, a handful of
+blocks) so the whole suite runs in seconds while still exercising multi-block
+behaviour everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.predicates import rows_matching
+from repro.common.rng import make_rng
+from repro.common.schema import DataType, Schema
+from repro.core import AdaptDB, AdaptDBConfig
+from repro.storage.table import ColumnTable
+from repro.workloads.cmt import CMTGenerator
+from repro.workloads.tpch import TPCHGenerator
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return make_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tpch_tables():
+    """Small TPC-H tables (lineitem, orders, customer, part, supplier)."""
+    return TPCHGenerator(scale=0.1, seed=7).generate()
+
+
+@pytest.fixture(scope="session")
+def cmt_tables():
+    """Small CMT tables (trips, trip_history, trip_latest)."""
+    return CMTGenerator(scale=0.05, seed=7).generate()
+
+
+@pytest.fixture
+def small_config():
+    """An AdaptDB configuration sized for unit tests."""
+    return AdaptDBConfig(rows_per_block=512, buffer_blocks=4, window_size=10, seed=3)
+
+
+@pytest.fixture
+def small_db(small_config, tpch_tables):
+    """An AdaptDB instance with lineitem/orders/part loaded."""
+    db = AdaptDB(small_config)
+    for name in ("lineitem", "orders", "part"):
+        db.load_table(tpch_tables[name])
+    return db
+
+
+@pytest.fixture
+def simple_table():
+    """A tiny two-column table handy for targeted storage tests."""
+    schema = Schema.of(("key", DataType.INT), ("value", DataType.FLOAT))
+    rng = np.random.default_rng(0)
+    columns = {
+        "key": np.arange(1, 1001, dtype=np.int64),
+        "value": rng.uniform(0.0, 100.0, size=1000),
+    }
+    return ColumnTable("simple", schema, columns)
+
+
+def reference_join_count(
+    left: ColumnTable,
+    right: ColumnTable,
+    left_column: str,
+    right_column: str,
+    left_predicates=None,
+    right_predicates=None,
+) -> int:
+    """Ground-truth equi-join cardinality computed directly on the raw tables."""
+    left_mask = rows_matching(left.columns, list(left_predicates or []))
+    right_mask = rows_matching(right.columns, list(right_predicates or []))
+    left_keys = left.columns[left_column][left_mask]
+    right_keys = right.columns[right_column][right_mask]
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return 0
+    left_unique, left_counts = np.unique(left_keys, return_counts=True)
+    right_unique, right_counts = np.unique(right_keys, return_counts=True)
+    common, left_idx, right_idx = np.intersect1d(
+        left_unique, right_unique, assume_unique=True, return_indices=True
+    )
+    return int((left_counts[left_idx] * right_counts[right_idx]).sum())

@@ -1,0 +1,131 @@
+"""Tests for repro.partitioning.builders (median splits, attribute allocation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PartitioningError
+from repro.partitioning.builders import (
+    BalancedAttributeAllocator,
+    build_median_tree,
+    median_cutpoint,
+    split_leaf_budget,
+)
+from repro.partitioning.tree import PartitioningTree
+
+
+class TestMedianCutpoint:
+    def test_splits_into_non_empty_halves(self):
+        values = np.array([1, 2, 3, 4, 5, 6])
+        cut = median_cutpoint(values)
+        assert cut is not None
+        assert 0 < (values <= cut).sum() < len(values)
+
+    def test_balanced_for_uniform_values(self):
+        values = np.arange(1000)
+        cut = median_cutpoint(values)
+        left = (values <= cut).sum()
+        assert 450 <= left <= 550
+
+    def test_single_value_cannot_split(self):
+        assert median_cutpoint(np.array([5])) is None
+
+    def test_constant_values_cannot_split(self):
+        assert median_cutpoint(np.array([3, 3, 3, 3])) is None
+
+    def test_skewed_values_still_split(self):
+        values = np.array([1] * 99 + [2])
+        cut = median_cutpoint(values)
+        assert cut == 1
+        assert (values <= cut).sum() == 99
+
+    def test_empty_values(self):
+        assert median_cutpoint(np.array([])) is None
+
+
+class TestSplitLeafBudget:
+    @pytest.mark.parametrize(
+        "total, expected",
+        [(2, (1, 1)), (3, (2, 1)), (7, (4, 3)), (8, (4, 4)), (1, (1, 0))],
+    )
+    def test_budget_split(self, total, expected):
+        assert split_leaf_budget(total) == expected
+
+
+class TestBalancedAttributeAllocator:
+    def test_requires_attributes(self):
+        with pytest.raises(PartitioningError):
+            BalancedAttributeAllocator([])
+
+    def test_prefers_attributes_not_on_path(self):
+        allocator = BalancedAttributeAllocator(["a", "b", "c"])
+        assert allocator(0, [], np.arange(10)) == "a"
+        assert allocator(1, ["a"], np.arange(10)) == "b"
+        assert allocator(2, ["a", "b"], np.arange(10)) == "c"
+
+    def test_balances_global_usage(self):
+        allocator = BalancedAttributeAllocator(["a", "b"])
+        picks = [allocator(0, [], np.arange(4)) for _ in range(10)]
+        assert picks.count("a") == picks.count("b") == 5
+
+    def test_usage_tracking(self):
+        allocator = BalancedAttributeAllocator(["a", "b"])
+        allocator(0, [], np.arange(4))
+        allocator(0, [], np.arange(4))
+        assert allocator.usage == {"a": 1, "b": 1}
+
+
+class TestBuildMedianTree:
+    def make_sample(self, n: int = 1024):
+        rng = np.random.default_rng(0)
+        return {
+            "a": rng.uniform(0, 100, size=n),
+            "b": rng.integers(0, 1000, size=n).astype(float),
+        }
+
+    def test_builds_requested_number_of_leaves(self):
+        sample = self.make_sample()
+        for leaves in (1, 2, 3, 5, 8, 13):
+            root = build_median_tree(sample, leaves, lambda d, p, i: "a", ["a", "b"])
+            assert PartitioningTree(root=root).num_leaves == leaves
+
+    def test_invalid_leaf_count(self):
+        with pytest.raises(PartitioningError):
+            build_median_tree(self.make_sample(), 0, lambda d, p, i: "a", ["a"])
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(PartitioningError):
+            build_median_tree(self.make_sample(), 4, lambda d, p, i: "a", ["a", "missing"])
+
+    def test_routes_rows_evenly(self):
+        sample = self.make_sample()
+        root = build_median_tree(sample, 8, lambda d, p, i: "a", ["a"])
+        tree = PartitioningTree(root=root)
+        leaves = tree.route_rows(sample)
+        counts = np.bincount(leaves, minlength=8)
+        assert counts.min() > 0
+        assert counts.max() <= 2.5 * counts.min()
+
+    def test_falls_back_when_chosen_attribute_constant(self):
+        sample = {"a": np.ones(100), "b": np.arange(100).astype(float)}
+        root = build_median_tree(sample, 4, lambda d, p, i: "a", ["a", "b"])
+        tree = PartitioningTree(root=root)
+        counts = np.bincount(tree.route_rows(sample), minlength=4)
+        assert (counts > 0).sum() >= 3  # b-based splits still spread the data
+
+    def test_degenerate_sample_still_builds_tree(self):
+        sample = {"a": np.ones(10)}
+        root = build_median_tree(sample, 4, lambda d, p, i: "a", ["a"])
+        assert PartitioningTree(root=root).num_leaves == 4
+
+    def test_chooser_receives_depth_and_path(self):
+        observed: list[tuple[int, tuple[str, ...]]] = []
+
+        def chooser(depth, path, indices):
+            observed.append((depth, tuple(path)))
+            return "a"
+
+        build_median_tree(self.make_sample(64), 4, chooser, ["a"])
+        assert (0, ()) in observed
+        assert any(depth == 1 and path == ("a",) for depth, path in observed)

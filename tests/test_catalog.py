@@ -1,0 +1,61 @@
+"""Tests for repro.storage.catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import StorageError
+from repro.common.rng import make_rng
+from repro.common.schema import DataType, Schema
+from repro.partitioning.upfront import UpfrontPartitioner
+from repro.storage.catalog import Catalog
+from repro.storage.dfs import DistributedFileSystem
+from repro.storage.table import ColumnTable, StoredTable
+
+
+def make_stored(name: str) -> StoredTable:
+    schema = Schema.of(("k", DataType.INT))
+    table = ColumnTable(name, schema, {"k": np.arange(100)})
+    dfs = DistributedFileSystem(cluster=Cluster(num_machines=2), rng=make_rng(0))
+    tree = UpfrontPartitioner(["k"], 50).build(table.sample(), total_rows=100)
+    return StoredTable.load(table, dfs, tree, rows_per_block=50)
+
+
+class TestCatalog:
+    def test_register_and_get(self):
+        catalog = Catalog()
+        table = make_stored("a")
+        catalog.register(table)
+        assert catalog.get("a") is table
+
+    def test_duplicate_registration_rejected(self):
+        catalog = Catalog()
+        catalog.register(make_stored("a"))
+        with pytest.raises(StorageError):
+            catalog.register(make_stored("a"))
+
+    def test_unknown_table_raises_with_known_names(self):
+        catalog = Catalog()
+        catalog.register(make_stored("a"))
+        with pytest.raises(StorageError, match="unknown table"):
+            catalog.get("zzz")
+
+    def test_contains_and_len(self):
+        catalog = Catalog()
+        assert "a" not in catalog and len(catalog) == 0
+        catalog.register(make_stored("a"))
+        assert "a" in catalog and len(catalog) == 1
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        for name in ("zeta", "alpha", "mid"):
+            catalog.register(make_stored(name))
+        assert catalog.table_names == ["alpha", "mid", "zeta"]
+
+    def test_tables_follow_name_order(self):
+        catalog = Catalog()
+        for name in ("b", "a"):
+            catalog.register(make_stored(name))
+        assert [table.name for table in catalog.tables()] == ["a", "b"]

@@ -1,0 +1,91 @@
+"""Tests for the synthetic CMT dataset generator and query trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.cmt import CMT_BASE_ROWS, CMT_SCHEMAS, CMTGenerator
+
+
+class TestCMTData:
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            CMTGenerator(scale=0)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(WorkloadError):
+            CMTGenerator(scale=0.1).rows_for("unknown")
+
+    def test_generates_three_tables(self, cmt_tables):
+        assert set(cmt_tables) == set(CMT_BASE_ROWS)
+
+    def test_row_counts_scale(self, cmt_tables):
+        generator = CMTGenerator(scale=0.05)
+        for name, table in cmt_tables.items():
+            assert table.num_rows == generator.rows_for(name)
+
+    def test_schemas_validate(self, cmt_tables):
+        for name, table in cmt_tables.items():
+            assert table.schema.column_names == CMT_SCHEMAS[name].column_names
+            table.schema.validate_columns(table.columns)
+
+    def test_history_references_existing_trips(self, cmt_tables):
+        trip_ids = set(cmt_tables["trips"].columns["trip_id"].tolist())
+        assert set(cmt_tables["trip_history"].columns["trip_id"].tolist()).issubset(trip_ids)
+
+    def test_latest_has_one_row_per_trip(self, cmt_tables):
+        latest_ids = cmt_tables["trip_latest"].columns["trip_id"]
+        assert len(np.unique(latest_ids)) == len(latest_ids)
+
+    def test_trip_end_after_start(self, cmt_tables):
+        trips = cmt_tables["trips"].columns
+        assert (trips["end_time"] > trips["start_time"]).all()
+
+    def test_history_is_larger_than_trips(self, cmt_tables):
+        assert cmt_tables["trip_history"].num_rows > cmt_tables["trips"].num_rows
+
+    def test_generation_deterministic(self):
+        a = CMTGenerator(scale=0.02, seed=5).generate()["trips"]
+        b = CMTGenerator(scale=0.02, seed=5).generate()["trips"]
+        assert np.array_equal(a.columns["start_time"], b.columns["start_time"])
+
+
+class TestCMTTrace:
+    def test_trace_length_defaults_to_103(self):
+        assert len(CMTGenerator(scale=0.02).query_trace()) == 103
+
+    def test_trace_is_deterministic(self):
+        a = CMTGenerator(scale=0.02, seed=9).query_trace(30)
+        b = CMTGenerator(scale=0.02, seed=9).query_trace(30)
+        assert [q.template for q in a] == [q.template for q in b]
+
+    def test_most_queries_join_history(self):
+        trace = CMTGenerator(scale=0.02).query_trace()
+        history_joins = sum(1 for q in trace if "trip_history" in q.tables)
+        assert history_joins > len(trace) / 2
+
+    def test_batch_queries_occupy_positions_30_to_50(self):
+        trace = CMTGenerator(scale=0.02).query_trace()
+        assert all(q.template == "cmt_batch" for q in trace[30:50])
+        assert all(q.template != "cmt_batch" for q in trace[:30])
+
+    def test_trace_contains_scans_and_latest_lookups(self):
+        templates = {q.template for q in CMTGenerator(scale=0.02).query_trace()}
+        assert "cmt_trip_scan" in templates
+        assert "cmt_latest" in templates
+
+    def test_every_query_references_generated_tables(self, cmt_tables):
+        trace = CMTGenerator(scale=0.05, seed=7).query_trace(40)
+        for query in trace:
+            for table in query.tables:
+                assert table in cmt_tables
+            for table, predicates in query.predicates.items():
+                for predicate in predicates:
+                    assert predicate.column in cmt_tables[table].schema
+
+    def test_join_attribute_is_trip_id(self):
+        trace = CMTGenerator(scale=0.02).query_trace()
+        join_queries = [q for q in trace if q.is_join_query]
+        assert all(q.join_attribute("trips") == "trip_id" for q in join_queries)

@@ -1,0 +1,90 @@
+"""Tests for the workload pattern generators (switching / shifting / window)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import make_rng
+from repro.workloads.generators import (
+    repeated_template_workload,
+    shifting_workload,
+    switching_workload,
+    template_boundaries,
+    window_sensitivity_workload,
+)
+from repro.workloads.tpch_queries import EVALUATED_TEMPLATES
+
+
+class TestSwitchingWorkload:
+    def test_paper_default_has_160_queries(self):
+        queries = switching_workload(rng=make_rng(1))
+        assert len(queries) == 20 * len(EVALUATED_TEMPLATES) == 160
+
+    def test_templates_run_back_to_back(self):
+        queries = switching_workload(["q12", "q14"], queries_per_template=5, rng=make_rng(1))
+        assert [q.template for q in queries] == ["q12"] * 5 + ["q14"] * 5
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            switching_workload(["q12"], queries_per_template=0)
+
+    def test_parameters_vary_between_queries(self):
+        queries = switching_workload(["q14"], queries_per_template=10, rng=make_rng(1))
+        values = {q.predicates["lineitem"][0].value for q in queries}
+        assert len(values) > 1
+
+    def test_template_boundaries(self):
+        assert template_boundaries(["a", "b", "c"], 20) == [20, 40]
+
+
+class TestShiftingWorkload:
+    def test_paper_default_has_140_queries(self):
+        queries = shifting_workload(rng=make_rng(1))
+        assert len(queries) == 20 * (len(EVALUATED_TEMPLATES) - 1) == 140
+
+    def test_needs_two_templates(self):
+        with pytest.raises(WorkloadError):
+            shifting_workload(["q12"], rng=make_rng(1))
+
+    def test_invalid_transition_length(self):
+        with pytest.raises(WorkloadError):
+            shifting_workload(["q12", "q14"], transition_length=0)
+
+    def test_transition_is_gradual(self):
+        queries = shifting_workload(["q12", "q14"], transition_length=40, rng=make_rng(2))
+        first_half = sum(1 for q in queries[:20] if q.template == "q14")
+        second_half = sum(1 for q in queries[20:] if q.template == "q14")
+        assert second_half > first_half
+
+    def test_only_adjacent_templates_appear_in_each_transition(self):
+        queries = shifting_workload(["q12", "q14", "q19"], transition_length=10, rng=make_rng(2))
+        assert {q.template for q in queries[:10]}.issubset({"q12", "q14"})
+        assert {q.template for q in queries[10:]}.issubset({"q14", "q19"})
+
+    def test_transition_ends_on_next_template(self):
+        queries = shifting_workload(["q12", "q14"], transition_length=30, rng=make_rng(2))
+        assert queries[-1].template in {"q12", "q14"}
+        tail = [q.template for q in queries[-5:]]
+        assert tail.count("q14") >= 3
+
+
+class TestWindowSensitivityWorkload:
+    def test_has_70_queries(self):
+        assert len(window_sensitivity_workload(make_rng(1))) == 70
+
+    def test_phase_structure(self):
+        queries = window_sensitivity_workload(make_rng(1))
+        assert all(q.template == "q14" for q in queries[:10])
+        assert all(q.template == "q19" for q in queries[30:40])
+        assert all(q.template == "q14" for q in queries[60:])
+
+    def test_only_q14_and_q19_used(self):
+        assert {q.template for q in window_sensitivity_workload(make_rng(1))} == {"q14", "q19"}
+
+
+class TestRepeatedTemplateWorkload:
+    def test_count_and_template(self):
+        queries = repeated_template_workload("q19", 7, make_rng(1))
+        assert len(queries) == 7
+        assert all(q.template == "q19" for q in queries)

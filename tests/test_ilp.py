@@ -1,0 +1,84 @@
+"""Tests for repro.join.ilp (the optimal MILP grouping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlanningError
+from repro.join.grouping import bottom_up_grouping, grouping_cost
+from repro.join.ilp import ilp_grouping
+from repro.join.overlap import compute_overlap_matrix
+
+
+def example1_overlap() -> np.ndarray:
+    return np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]], dtype=bool)
+
+
+def small_overlap(rng, num_build=12, num_probe=8) -> np.ndarray:
+    starts = rng.uniform(0, 100, size=num_build)
+    build = [(float(s), float(s + 25)) for s in starts]
+    edges = np.linspace(0, 130, num_probe + 1)
+    probe = [(float(lo), float(hi)) for lo, hi in zip(edges, edges[1:])]
+    return compute_overlap_matrix(build, probe)
+
+
+class TestILPGrouping:
+    def test_example1_optimum_is_five(self):
+        solution = ilp_grouping(example1_overlap(), budget=2)
+        assert solution.optimal
+        assert solution.grouping.total_probe_reads == 5
+
+    def test_solution_is_valid_grouping(self, rng):
+        overlap = small_overlap(rng)
+        solution = ilp_grouping(overlap, budget=4)
+        solution.grouping.validate(overlap.shape[0], budget=4)
+
+    def test_reported_objective_matches_grouping_cost(self, rng):
+        overlap = small_overlap(rng)
+        solution = ilp_grouping(overlap, budget=4)
+        assert solution.objective == sum(grouping_cost(overlap, solution.grouping.groups))
+
+    def test_ilp_never_worse_than_heuristic_when_optimal(self, rng):
+        for _ in range(3):
+            overlap = small_overlap(rng)
+            solution = ilp_grouping(overlap, budget=3)
+            heuristic = bottom_up_grouping(overlap, budget=3)
+            if solution.optimal:
+                assert solution.grouping.total_probe_reads <= heuristic.total_probe_reads
+
+    def test_exhaustive_optimum_on_tiny_instance(self, rng):
+        """Brute-force all assignments of 6 blocks into 2 groups of 3 and compare."""
+        from itertools import combinations
+
+        overlap = small_overlap(rng, num_build=6, num_probe=5)
+        best = None
+        indices = set(range(6))
+        for first in combinations(sorted(indices), 3):
+            second = tuple(sorted(indices - set(first)))
+            cost = sum(grouping_cost(overlap, [list(first), list(second)]))
+            best = cost if best is None else min(best, cost)
+        solution = ilp_grouping(overlap, budget=3)
+        assert solution.optimal
+        assert solution.grouping.total_probe_reads == best
+
+    def test_budget_validation(self):
+        with pytest.raises(PlanningError):
+            ilp_grouping(example1_overlap(), budget=0)
+
+    def test_matrix_validation(self):
+        with pytest.raises(PlanningError):
+            ilp_grouping(np.zeros(3, dtype=bool), budget=1)
+
+    def test_empty_build_side(self):
+        solution = ilp_grouping(np.zeros((0, 4), dtype=bool), budget=2)
+        assert solution.optimal and solution.objective == 0.0
+
+    def test_solve_time_reported(self, rng):
+        solution = ilp_grouping(small_overlap(rng), budget=4)
+        assert solution.solve_seconds >= 0.0
+
+    def test_time_limit_still_returns_a_grouping(self, rng):
+        overlap = small_overlap(rng, num_build=16, num_probe=10)
+        solution = ilp_grouping(overlap, budget=4, time_limit_seconds=0.5)
+        solution.grouping.validate(overlap.shape[0], budget=4)

@@ -1,0 +1,125 @@
+"""End-to-end integration tests: full workloads through the AdaptDB facade.
+
+These tests exercise the complete stack (generator → upfront partitioning →
+adaptive repartitioning → optimizer → executor) and check the two global
+invariants that must hold no matter how the layout evolves:
+
+1. query answers never change (they always match a reference computation on
+   the raw data), and
+2. no rows are ever lost or duplicated by block migrations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdaptDBRunner, FullScanBaseline
+from repro.common.rng import make_rng
+from repro.core import AdaptDB, AdaptDBConfig
+from repro.workloads.cmt import CMTGenerator
+from repro.workloads.generators import switching_workload
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.tpch_queries import tpch_query
+
+from conftest import reference_join_count
+
+
+@pytest.fixture(scope="module")
+def tpch_small():
+    return TPCHGenerator(scale=0.08, seed=3).generate(["lineitem", "orders", "part", "customer"])
+
+
+class TestTPCHWorkloadEndToEnd:
+    def test_switching_workload_answers_match_reference(self, tpch_small):
+        config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=2)
+        db = AdaptDB(config)
+        for table in tpch_small.values():
+            db.load_table(table)
+        rng = make_rng(17)
+        queries = switching_workload(["q12", "q14"], queries_per_template=6, rng=rng)
+        for query in queries:
+            result = db.run(query)
+            clause = query.joins[0]
+            expected = reference_join_count(
+                tpch_small[clause.left_table],
+                tpch_small[clause.right_table],
+                clause.left_column,
+                clause.right_column,
+                query.predicates_on(clause.left_table),
+                query.predicates_on(clause.right_table),
+            )
+            assert result.output_rows == expected
+
+    def test_rows_never_lost_during_adaptation(self, tpch_small):
+        config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=2)
+        db = AdaptDB(config)
+        for table in tpch_small.values():
+            db.load_table(table)
+        expected_rows = {name: table.num_rows for name, table in tpch_small.items()}
+        rng = make_rng(23)
+        queries = switching_workload(["q12", "q14", "q3"], queries_per_template=5, rng=rng)
+        for query in queries:
+            db.run(query)
+            for name, expected in expected_rows.items():
+                assert db.table(name).total_rows == expected
+
+    def test_key_multisets_preserved_after_full_workload(self, tpch_small):
+        config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=2)
+        db = AdaptDB(config)
+        db.load_table(tpch_small["lineitem"])
+        db.load_table(tpch_small["orders"])
+        original = np.sort(tpch_small["lineitem"].columns["l_orderkey"])
+        rng = make_rng(29)
+        for _ in range(12):
+            db.run(tpch_query("q12", rng))
+        stored = db.table("lineitem")
+        keys = np.sort(
+            np.concatenate(
+                [stored.dfs.peek_block(b).column("l_orderkey") for b in stored.non_empty_block_ids()]
+            )
+        )
+        assert np.array_equal(keys, original)
+
+    def test_adaptdb_total_cost_beats_full_scan_on_a_real_workload(self, tpch_small):
+        config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=2)
+        tables = [tpch_small[name] for name in ("lineitem", "orders", "part")]
+        rng = make_rng(31)
+        queries = switching_workload(["q12", "q14"], queries_per_template=8, rng=rng)
+        adaptive = AdaptDBRunner(tables, config).run_workload(queries)
+        full_scan = FullScanBaseline(tables, config).run_workload(queries)
+        assert sum(r.cost_units for r in adaptive) < sum(r.cost_units for r in full_scan)
+
+
+class TestCMTWorkloadEndToEnd:
+    def test_trace_answers_match_reference(self):
+        generator = CMTGenerator(scale=0.04, seed=11)
+        tables = generator.generate()
+        config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=2)
+        db = AdaptDB(config)
+        for table in tables.values():
+            db.load_table(table)
+        for query in generator.query_trace(25):
+            result = db.run(query)
+            if not query.is_join_query:
+                continue
+            clause = query.joins[0]
+            expected = reference_join_count(
+                tables[clause.left_table],
+                tables[clause.right_table],
+                clause.left_column,
+                clause.right_column,
+                query.predicates_on(clause.left_table),
+                query.predicates_on(clause.right_table),
+            )
+            assert result.output_rows == expected
+
+    def test_adaptation_creates_trip_id_trees(self):
+        generator = CMTGenerator(scale=0.04, seed=11)
+        tables = generator.generate()
+        db = AdaptDB(AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=2))
+        for table in tables.values():
+            db.load_table(table)
+        for query in generator.query_trace(25):
+            db.run(query)
+        assert db.table("trips").tree_for_join_attribute("trip_id") is not None

@@ -1,0 +1,225 @@
+"""Tests for the join executors: shuffle join and hyper-join."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, CostModel
+from repro.common.errors import PlanningError
+from repro.common.predicates import between, le
+from repro.common.rng import make_rng
+from repro.common.schema import DataType, Schema
+from repro.join.hyperjoin import execute_hyper_join, hyper_join, plan_hyper_join
+from repro.join.shuffle import shuffle_join
+from repro.partitioning.two_phase import TwoPhasePartitioner
+from repro.partitioning.upfront import UpfrontPartitioner
+from repro.storage.dfs import DistributedFileSystem
+from repro.storage.table import ColumnTable, StoredTable
+
+from conftest import reference_join_count
+
+
+@pytest.fixture
+def join_setup():
+    """Two co-partitionable tables loaded into a shared DFS."""
+    rng = np.random.default_rng(11)
+    left_schema = Schema.of(("key", DataType.INT), ("attr", DataType.INT))
+    right_schema = Schema.of(("rkey", DataType.INT), ("rattr", DataType.INT))
+    left = ColumnTable(
+        "left", left_schema,
+        {"key": rng.integers(0, 500, size=3000), "attr": rng.integers(0, 100, size=3000)},
+    )
+    right = ColumnTable(
+        "right", right_schema,
+        {"rkey": rng.integers(0, 500, size=1200), "rattr": rng.integers(0, 100, size=1200)},
+    )
+    dfs = DistributedFileSystem(cluster=Cluster(num_machines=4), rng=make_rng(5))
+
+    def load(table: ColumnTable, key: str, co_partitioned: bool) -> StoredTable:
+        num_leaves = max(1, math.ceil(table.num_rows / 256))
+        if co_partitioned:
+            depth = max(1, math.ceil(math.log2(num_leaves)))
+            tree = TwoPhasePartitioner(key, []).build(
+                table.sample(), table.num_rows, num_leaves=num_leaves, join_levels=depth
+            )
+        else:
+            tree = UpfrontPartitioner([key, table.schema.column_names[1]], 256).build(
+                table.sample(), table.num_rows, num_leaves=num_leaves
+            )
+        return StoredTable.load(table, dfs, tree, rows_per_block=256)
+
+    return {"dfs": dfs, "left": left, "right": right, "load": load}
+
+
+class TestShuffleJoin:
+    def test_output_matches_reference(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", False)
+        right = join_setup["load"](join_setup["right"], "rkey", False)
+        stats = shuffle_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey",
+        )
+        expected = reference_join_count(join_setup["left"], join_setup["right"], "key", "rkey")
+        assert stats.output_rows == expected
+
+    def test_predicates_applied_before_join(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", False)
+        right = join_setup["load"](join_setup["right"], "rkey", False)
+        predicate = le("attr", 50)
+        stats = shuffle_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", left_predicates=[predicate],
+        )
+        expected = reference_join_count(
+            join_setup["left"], join_setup["right"], "key", "rkey", [predicate], None
+        )
+        assert stats.output_rows == expected
+
+    def test_cost_follows_csj(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", False)
+        right = join_setup["load"](join_setup["right"], "rkey", False)
+        model = CostModel()
+        stats = shuffle_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", cost_model=model,
+        )
+        assert stats.cost_units == pytest.approx(
+            model.shuffle_join_cost(stats.build_blocks_read, stats.probe_blocks_read)
+        )
+        assert stats.shuffled_blocks == stats.total_blocks_read
+        assert stats.method == "shuffle"
+
+    def test_empty_blocks_are_not_counted(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", False)
+        right = join_setup["load"](join_setup["right"], "rkey", False)
+        stats = shuffle_join(
+            join_setup["dfs"], left.block_ids(), right.block_ids(), "key", "rkey",
+        )
+        assert stats.build_blocks_read == len(left.non_empty_block_ids())
+
+
+class TestHyperJoinPlanning:
+    def test_plan_excludes_empty_blocks(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        tree = TwoPhasePartitioner("key", []).build(left.sample, left.total_rows, num_leaves=2)
+        left.add_empty_tree(tree)
+        plan = plan_hyper_join(
+            join_setup["dfs"], left.block_ids(), right.block_ids(), "key", "rkey", 4
+        )
+        assert len(plan.build_block_ids) == len(left.non_empty_block_ids())
+
+    def test_invalid_buffer_rejected(self, join_setup):
+        with pytest.raises(PlanningError):
+            plan_hyper_join(join_setup["dfs"], [], [], "key", "rkey", 0)
+
+    def test_co_partitioned_multiplicity_near_one(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        plan = plan_hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", 4,
+        )
+        assert plan.probe_multiplicity <= 2.0
+
+    def test_unpartitioned_build_side_has_high_multiplicity(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", False)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        plan = plan_hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", 1,
+        )
+        assert plan.probe_multiplicity > 1.5
+
+
+class TestHyperJoinExecution:
+    def test_output_matches_reference_and_shuffle(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        hyper = hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", buffer_blocks=4,
+        )
+        shuffle = shuffle_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey",
+        )
+        expected = reference_join_count(join_setup["left"], join_setup["right"], "key", "rkey")
+        assert hyper.output_rows == expected == shuffle.output_rows
+
+    def test_output_with_predicates(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        left_predicate = between("attr", 10, 60)
+        right_predicate = le("rattr", 80)
+        stats = hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", buffer_blocks=4,
+            build_predicates=[left_predicate], probe_predicates=[right_predicate],
+        )
+        expected = reference_join_count(
+            join_setup["left"], join_setup["right"], "key", "rkey",
+            [left_predicate], [right_predicate],
+        )
+        assert stats.output_rows == expected
+
+    def test_build_blocks_read_once(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        stats = hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", buffer_blocks=4,
+        )
+        assert stats.build_blocks_read == len(left.non_empty_block_ids())
+        assert stats.method == "hyper"
+        assert stats.shuffled_blocks == 0
+
+    def test_probe_reads_match_plan_estimate(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        plan = plan_hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", 4,
+        )
+        stats = execute_hyper_join(join_setup["dfs"], plan, "key", "rkey")
+        assert stats.probe_blocks_read == plan.estimated_probe_reads
+
+    def test_cost_follows_equation_two(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        model = CostModel()
+        stats = hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", buffer_blocks=4, cost_model=model,
+        )
+        assert stats.cost_units == pytest.approx(
+            model.hyper_join_cost(stats.build_blocks_read, stats.probe_blocks_read)
+        )
+
+    def test_co_partitioned_hyper_join_cheaper_than_shuffle(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        hyper = hyper_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey", buffer_blocks=4,
+        )
+        shuffle = shuffle_join(
+            join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+            "key", "rkey",
+        )
+        assert hyper.cost_units < shuffle.cost_units
+
+    def test_bigger_buffer_never_costs_more(self, join_setup):
+        left = join_setup["load"](join_setup["left"], "key", True)
+        right = join_setup["load"](join_setup["right"], "rkey", True)
+        costs = []
+        for buffer_blocks in (1, 2, 4, 8):
+            stats = hyper_join(
+                join_setup["dfs"], left.non_empty_block_ids(), right.non_empty_block_ids(),
+                "key", "rkey", buffer_blocks=buffer_blocks,
+            )
+            costs.append(stats.cost_units)
+        assert all(later <= earlier for earlier, later in zip(costs, costs[1:]))

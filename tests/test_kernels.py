@@ -1,0 +1,100 @@
+"""Tests for repro.join.kernels (key histograms, match counting, hash partitioning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.join.kernels import (
+    KeyHistogram,
+    hash_partition,
+    join_match_count,
+    join_match_count_arrays,
+)
+
+
+class TestKeyHistogram:
+    def test_from_keys_counts_multiplicities(self):
+        histogram = KeyHistogram.from_keys(np.array([1, 1, 2, 3, 3, 3]))
+        assert histogram.keys.tolist() == [1, 2, 3]
+        assert histogram.counts.tolist() == [2, 1, 3]
+        assert histogram.total == 6
+
+    def test_from_empty_keys(self):
+        histogram = KeyHistogram.from_keys(np.empty(0, dtype=np.int64))
+        assert histogram.total == 0
+
+    def test_merge_sums_counts(self):
+        merged = KeyHistogram.merge(
+            [
+                KeyHistogram.from_keys(np.array([1, 2, 2])),
+                KeyHistogram.from_keys(np.array([2, 3])),
+            ]
+        )
+        assert merged.keys.tolist() == [1, 2, 3]
+        assert merged.counts.tolist() == [1, 3, 1]
+
+    def test_merge_empty_list(self):
+        assert KeyHistogram.merge([]).total == 0
+
+    def test_merge_ignores_empty_histograms(self):
+        merged = KeyHistogram.merge(
+            [KeyHistogram.from_keys(np.empty(0, dtype=np.int64)),
+             KeyHistogram.from_keys(np.array([5]))]
+        )
+        assert merged.keys.tolist() == [5]
+
+
+class TestJoinMatchCount:
+    def test_simple_counts(self):
+        left = KeyHistogram.from_keys(np.array([1, 1, 2]))
+        right = KeyHistogram.from_keys(np.array([1, 2, 2, 3]))
+        # key 1: 2*1, key 2: 1*2
+        assert join_match_count(left, right) == 4
+
+    def test_no_common_keys(self):
+        left = KeyHistogram.from_keys(np.array([1, 2]))
+        right = KeyHistogram.from_keys(np.array([3, 4]))
+        assert join_match_count(left, right) == 0
+
+    def test_empty_side(self):
+        left = KeyHistogram.from_keys(np.empty(0, dtype=np.int64))
+        right = KeyHistogram.from_keys(np.array([1]))
+        assert join_match_count(left, right) == 0
+
+    def test_array_wrapper_matches_bruteforce(self, rng):
+        left = rng.integers(0, 50, size=300)
+        right = rng.integers(0, 50, size=200)
+        brute = sum(int((right == key).sum()) for key in left)
+        assert join_match_count_arrays(left, right) == brute
+
+    def test_symmetry(self, rng):
+        left = rng.integers(0, 30, size=100)
+        right = rng.integers(0, 30, size=150)
+        assert join_match_count_arrays(left, right) == join_match_count_arrays(right, left)
+
+
+class TestHashPartition:
+    def test_assignment_in_range(self, rng):
+        keys = rng.integers(0, 10_000, size=1000)
+        parts = hash_partition(keys, 7)
+        assert parts.min() >= 0 and parts.max() < 7
+
+    def test_same_key_same_partition(self):
+        keys = np.array([42, 42, 42, 7, 7])
+        parts = hash_partition(keys, 5)
+        assert len(set(parts[:3].tolist())) == 1
+        assert len(set(parts[3:].tolist())) == 1
+
+    def test_negative_keys_supported(self):
+        parts = hash_partition(np.array([-10, -3, 5]), 4)
+        assert (parts >= 0).all()
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            hash_partition(np.array([1]), 0)
+
+    def test_partitions_are_reasonably_balanced(self, rng):
+        keys = rng.integers(0, 1_000_000, size=10_000)
+        counts = np.bincount(hash_partition(keys, 10), minlength=10)
+        assert counts.min() > 0.5 * counts.mean()

@@ -1,0 +1,107 @@
+"""Tests for repro.join.overlap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlanningError
+from repro.join.overlap import (
+    compute_overlap_matrix,
+    delta,
+    probe_blocks_needed,
+    ranges_overlap,
+    union_vector,
+)
+
+
+class TestRangesOverlap:
+    def test_overlapping(self):
+        assert ranges_overlap((0, 10), (5, 15))
+
+    def test_touching_endpoints_count_as_overlap(self):
+        assert ranges_overlap((0, 10), (10, 20))
+
+    def test_disjoint(self):
+        assert not ranges_overlap((0, 10), (11, 20))
+
+    def test_containment(self):
+        assert ranges_overlap((0, 100), (40, 60))
+
+
+class TestComputeOverlapMatrix:
+    def test_figure_4_example(self):
+        """The paper's Figure 4: V = {1000, 1100, 0110, 0011}."""
+        build = [(0, 100), (100, 200), (200, 300), (300, 400)]
+        probe = [(0, 150), (150, 250), (250, 350), (350, 400)]
+        matrix = compute_overlap_matrix(build, probe)
+        expected = np.array(
+            [
+                [1, 0, 0, 0],
+                [1, 1, 0, 0],
+                [0, 1, 1, 0],
+                [0, 0, 1, 1],
+            ],
+            dtype=bool,
+        )
+        # Interval endpoints are shared (e.g. 100 belongs to r1 and r2), so the
+        # touching cells are also set; the paper's figure treats the ranges as
+        # half-open.  Verify at least the paper's cells are present and that no
+        # *disjoint* pair is marked.
+        assert (matrix & expected).sum() == expected.sum()
+        assert not matrix[0, 2] and not matrix[0, 3] and not matrix[3, 0]
+
+    def test_shapes(self):
+        matrix = compute_overlap_matrix([(0, 1)] * 3, [(0, 1)] * 5)
+        assert matrix.shape == (3, 5)
+
+    def test_empty_inputs(self):
+        assert compute_overlap_matrix([], [(0, 1)]).shape == (0, 1)
+        assert compute_overlap_matrix([(0, 1)], []).shape == (1, 0)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(PlanningError):
+            compute_overlap_matrix([(10, 0)], [(0, 1)])
+
+    def test_co_partitioned_layout_is_identity_like(self):
+        """Perfectly aligned ranges overlap only on the diagonal."""
+        edges = np.linspace(0, 100, 9)
+        ranges = [(float(lo), float(hi) - 1e-9) for lo, hi in zip(edges, edges[1:])]
+        matrix = compute_overlap_matrix(ranges, ranges)
+        assert matrix.sum() == len(ranges)
+        assert np.array_equal(matrix, np.eye(len(ranges), dtype=bool))
+
+    def test_unpartitioned_build_side_overlaps_everything(self):
+        build = [(0, 1000)] * 4
+        probe = [(0, 100), (100, 300), (300, 1000)]
+        assert compute_overlap_matrix(build, probe).all()
+
+    def test_matches_bruteforce(self, rng):
+        starts = rng.uniform(0, 100, size=20)
+        build = [(float(s), float(s + rng.uniform(1, 20))) for s in starts]
+        starts = rng.uniform(0, 100, size=15)
+        probe = [(float(s), float(s + rng.uniform(1, 20))) for s in starts]
+        matrix = compute_overlap_matrix(build, probe)
+        for i, b in enumerate(build):
+            for j, p in enumerate(probe):
+                assert matrix[i, j] == ranges_overlap(b, p)
+
+
+class TestVectorHelpers:
+    matrix = np.array([[1, 0, 1], [0, 1, 0], [1, 1, 0]], dtype=bool)
+
+    def test_delta(self):
+        assert delta(self.matrix[0]) == 2
+        assert delta(np.zeros(4, dtype=bool)) == 0
+
+    def test_union_vector(self):
+        union = union_vector(self.matrix, [0, 1])
+        assert union.tolist() == [True, True, True]
+
+    def test_union_of_empty_set(self):
+        assert union_vector(self.matrix, []).sum() == 0
+
+    def test_probe_blocks_needed(self):
+        assert probe_blocks_needed(self.matrix) == 3
+        assert probe_blocks_needed(np.zeros((2, 4), dtype=bool)) == 0
+        assert probe_blocks_needed(np.zeros((0, 0), dtype=bool)) == 0

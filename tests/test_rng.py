@@ -1,0 +1,43 @@
+"""Tests for repro.common.rng."""
+
+from __future__ import annotations
+
+from repro.common.rng import DEFAULT_SEED, derive_rng, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(1).integers(0, 1000, 10).tolist() == make_rng(1).integers(0, 1000, 10).tolist()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).integers(0, 10**9) != make_rng(2).integers(0, 10**9)
+
+    def test_none_uses_default_seed(self):
+        assert make_rng(None).integers(0, 10**9) == make_rng(DEFAULT_SEED).integers(0, 10**9)
+
+
+class TestDeriveRng:
+    def test_children_are_deterministic(self):
+        a = derive_rng(make_rng(5), "child")
+        b = derive_rng(make_rng(5), "child")
+        assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_children_with_different_keys_differ(self):
+        parent = make_rng(5)
+        a = derive_rng(parent, "a")
+        b = derive_rng(parent, "b")
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_derivation_advances_parent(self):
+        parent = make_rng(5)
+        first = derive_rng(parent, "same")
+        second = derive_rng(parent, "same")
+        assert first.integers(0, 10**9) != second.integers(0, 10**9)
+
+
+class TestSpawnRngs:
+    def test_one_generator_per_key(self):
+        children = spawn_rngs(make_rng(9), ["a", "b", "c"])
+        assert sorted(children) == ["a", "b", "c"]
+        values = {key: child.integers(0, 10**9) for key, child in children.items()}
+        assert len(set(values.values())) == 3

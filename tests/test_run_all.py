@@ -1,0 +1,36 @@
+"""Tests for the consolidated experiment runner (repro.experiments.run_all)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_copartition, fig07_locality
+from repro.experiments.run_all import full_suite, quick_suite, render_report, run_suite
+
+
+class TestSuites:
+    def test_quick_suite_covers_every_figure(self):
+        expected = {
+            "fig1", "fig7", "fig8", "fig12", "fig13a", "fig13b",
+            "fig14", "fig15", "fig16a", "fig16b", "fig17", "fig18",
+        }
+        assert set(quick_suite()) == expected
+        assert set(full_suite()) == expected
+
+    def test_run_suite_records_wall_time(self):
+        suite = {
+            "fig1": lambda: fig01_copartition.run(scale=0.05, rows_per_block=512),
+            "fig7": lambda: fig07_locality.run(scale=0.05),
+        }
+        results = run_suite(suite)
+        assert set(results) == {"fig1", "fig7"}
+        for result in results.values():
+            assert result.notes["driver_wall_seconds"] >= 0.0
+
+    def test_render_report_contains_tables_and_verdicts(self):
+        suite = {
+            "fig1": lambda: fig01_copartition.run(scale=0.05, rows_per_block=512),
+            "fig7": lambda: fig07_locality.run(scale=0.05),
+        }
+        report = render_report(run_suite(suite))
+        assert "fig1" in report and "fig7" in report
+        assert "Verdicts:" in report
+        assert "Shuffle Join" in report

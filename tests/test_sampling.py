@@ -1,0 +1,52 @@
+"""Tests for repro.storage.sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.rng import make_rng
+from repro.storage.sampling import sample_columns
+
+
+class TestSampleColumns:
+    def test_small_table_returned_in_full(self):
+        columns = {"a": np.arange(10)}
+        sample = sample_columns(columns, sample_size=100)
+        assert sample["a"].tolist() == list(range(10))
+
+    def test_returned_copy_is_independent(self):
+        columns = {"a": np.arange(10)}
+        sample = sample_columns(columns, sample_size=100)
+        sample["a"][0] = 999
+        assert columns["a"][0] == 0
+
+    def test_large_table_downsampled_to_requested_size(self):
+        columns = {"a": np.arange(10_000)}
+        sample = sample_columns(columns, sample_size=100)
+        assert len(sample["a"]) == 100
+
+    def test_deterministic_without_rng(self):
+        columns = {"a": np.arange(10_000)}
+        first = sample_columns(columns, sample_size=50)
+        second = sample_columns(columns, sample_size=50)
+        assert first["a"].tolist() == second["a"].tolist()
+
+    def test_rng_sampling_preserves_row_alignment(self):
+        columns = {"a": np.arange(1000), "b": np.arange(1000) * 2}
+        sample = sample_columns(columns, sample_size=64, rng=make_rng(3))
+        assert (sample["b"] == sample["a"] * 2).all()
+
+    def test_sample_preserves_value_spread(self):
+        columns = {"a": np.arange(100_000)}
+        sample = sample_columns(columns, sample_size=1000, rng=make_rng(3))
+        assert sample["a"].min() < 10_000
+        assert sample["a"].max() > 90_000
+
+    def test_empty_input(self):
+        assert sample_columns({}, 10) == {}
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(StorageError):
+            sample_columns({"a": np.arange(5), "b": np.arange(6)}, 10)

@@ -1,0 +1,189 @@
+"""Tests for repro.adaptive.smooth (smooth repartitioning, Figure 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive.smooth import SmoothRepartitioner
+from repro.adaptive.window import QueryWindow
+from repro.cluster import Cluster
+from repro.common.predicates import gt
+from repro.common.query import join_query, scan_query
+from repro.common.rng import make_rng
+from repro.common.schema import DataType, Schema
+from repro.partitioning.upfront import UpfrontPartitioner
+from repro.storage.dfs import DistributedFileSystem
+from repro.storage.table import ColumnTable, StoredTable
+
+
+def make_stored_table(rows: int = 4096, rows_per_block: int = 256) -> StoredTable:
+    rng = np.random.default_rng(9)
+    schema = Schema.of(
+        ("l_orderkey", DataType.INT), ("l_partkey", DataType.INT), ("l_shipdate", DataType.DATE)
+    )
+    table = ColumnTable(
+        "lineitem",
+        schema,
+        {
+            "l_orderkey": rng.integers(0, 5000, size=rows),
+            "l_partkey": rng.integers(0, 800, size=rows),
+            "l_shipdate": rng.integers(0, 2500, size=rows),
+        },
+    )
+    dfs = DistributedFileSystem(cluster=Cluster(num_machines=4), rng=make_rng(1))
+    tree = UpfrontPartitioner(["l_orderkey", "l_partkey", "l_shipdate"], rows_per_block).build(
+        table.sample(), total_rows=rows
+    )
+    return StoredTable.load(table, dfs, tree, rows_per_block=rows_per_block)
+
+
+def orders_join(template="q12"):
+    return join_query(
+        "lineitem", "orders", "l_orderkey", "o_orderkey",
+        predicates={"lineitem": [gt("l_shipdate", 100)]}, template=template,
+    )
+
+
+def part_join(template="q14"):
+    return join_query("lineitem", "part", "l_partkey", "p_partkey", template=template)
+
+
+class TestPlan:
+    def make(self, window_size=10, min_frequency=1):
+        table = make_stored_table()
+        window = QueryWindow(size=window_size)
+        repartitioner = SmoothRepartitioner(
+            rows_per_block=256, min_frequency=min_frequency, rng=make_rng(3)
+        )
+        return table, window, repartitioner
+
+    def test_scan_query_is_noop(self):
+        table, window, repartitioner = self.make()
+        query = scan_query("lineitem")
+        window.add(query)
+        plan = repartitioner.plan(table, query, window)
+        assert plan.is_noop and plan.join_attribute is None
+
+    def test_first_join_query_creates_tree_and_moves_one_window_fraction(self):
+        table, window, repartitioner = self.make(window_size=10)
+        query = orders_join()
+        window.add(query)
+        plan = repartitioner.plan(table, query, window)
+        assert plan.created_tree_id is not None
+        assert plan.fraction == pytest.approx(1 / 10)
+        total_blocks = len(table.non_empty_block_ids())
+        assert 1 <= len(plan.blocks_to_move) <= max(1, round(total_blocks * 0.1) + 1)
+
+    def test_new_tree_is_two_phase_on_the_join_attribute(self):
+        table, window, repartitioner = self.make()
+        query = orders_join()
+        window.add(query)
+        plan = repartitioner.plan(table, query, window)
+        tree = table.tree(plan.created_tree_id)
+        assert tree.join_attribute == "l_orderkey"
+        assert tree.join_levels >= 1
+
+    def test_min_frequency_defers_tree_creation(self):
+        table, window, repartitioner = self.make(min_frequency=3)
+        query = orders_join()
+        window.add(query)
+        plan = repartitioner.plan(table, query, window)
+        assert plan.is_noop
+        for _ in range(2):
+            extra = orders_join()
+            window.add(extra)
+            plan = repartitioner.plan(table, extra, window)
+        assert plan.created_tree_id is not None
+
+    def test_fraction_tracks_window_share(self):
+        """After the window is saturated with one join attribute, the target tree
+        should be asked to hold (roughly) the full dataset."""
+        table, window, repartitioner = self.make(window_size=5)
+        plan = None
+        for _ in range(5):
+            query = orders_join()
+            window.add(query)
+            plan = repartitioner.plan(table, query, window)
+            repartitioner.apply(table, plan)
+        target = table.tree_for_join_attribute("l_orderkey")
+        fraction = table.rows_under_tree(target) / table.total_rows
+        assert fraction > 0.6
+
+    def test_no_movement_when_target_already_holds_enough(self):
+        table, window, repartitioner = self.make(window_size=10)
+        # Saturate: move everything to the orderkey tree first.
+        for _ in range(12):
+            query = orders_join()
+            window.add(query)
+            repartitioner.apply(table, repartitioner.plan(table, query, window))
+        query = orders_join()
+        window.add(query)
+        plan = repartitioner.plan(table, query, window)
+        assert plan.fraction <= 0
+        assert plan.blocks_to_move == []
+
+
+class TestApply:
+    def test_apply_moves_rows_and_preserves_total(self):
+        table = make_stored_table()
+        window = QueryWindow(size=10)
+        repartitioner = SmoothRepartitioner(rows_per_block=256, rng=make_rng(3))
+        before = table.total_rows
+        query = orders_join()
+        window.add(query)
+        stats = repartitioner.apply(table, repartitioner.plan(table, query, window))
+        assert stats.rows_moved > 0
+        assert table.total_rows == before
+
+    def test_apply_noop_plan(self):
+        table = make_stored_table()
+        window = QueryWindow(size=10)
+        repartitioner = SmoothRepartitioner(rows_per_block=256, rng=make_rng(3))
+        query = scan_query("lineitem")
+        window.add(query)
+        stats = repartitioner.apply(table, repartitioner.plan(table, query, window))
+        assert stats.rows_moved == 0
+
+    def test_workload_shift_builds_second_tree_and_migrates(self):
+        """q12 → q14 shift: the partkey tree grows as partkey queries dominate."""
+        table = make_stored_table()
+        window = QueryWindow(size=10)
+        repartitioner = SmoothRepartitioner(rows_per_block=256, rng=make_rng(3))
+        for _ in range(10):
+            query = orders_join()
+            window.add(query)
+            repartitioner.apply(table, repartitioner.plan(table, query, window))
+        orderkey_tree = table.tree_for_join_attribute("l_orderkey")
+        rows_in_orderkey_before = table.rows_under_tree(orderkey_tree)
+
+        for _ in range(10):
+            query = part_join()
+            window.add(query)
+            repartitioner.apply(table, repartitioner.plan(table, query, window))
+
+        partkey_tree = table.tree_for_join_attribute("l_partkey")
+        assert partkey_tree is not None
+        assert table.rows_under_tree(partkey_tree) > 0
+        remaining_orderkey = (
+            table.rows_under_tree(orderkey_tree) if orderkey_tree in table.trees else 0
+        )
+        assert remaining_orderkey < rows_in_orderkey_before
+        assert table.total_rows == 4096
+
+    def test_full_shift_eventually_drops_old_tree(self):
+        table = make_stored_table()
+        window = QueryWindow(size=5)
+        repartitioner = SmoothRepartitioner(rows_per_block=256, rng=make_rng(3))
+        for _ in range(8):
+            query = orders_join()
+            window.add(query)
+            repartitioner.apply(table, repartitioner.plan(table, query, window))
+        for _ in range(25):
+            query = part_join()
+            window.add(query)
+            repartitioner.apply(table, repartitioner.plan(table, query, window))
+        assert table.tree_for_join_attribute("l_partkey") is not None
+        # The old order-key tree should by now be empty and dropped.
+        assert table.tree_for_join_attribute("l_orderkey") is None
+        assert table.num_trees <= 2

@@ -1,0 +1,139 @@
+"""Tests for the synthetic TPC-H generator and query templates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.predicates import rows_matching
+from repro.common.rng import make_rng
+from repro.workloads.tpch import BASE_ROWS, TPCH_SCHEMAS, TPCHGenerator
+from repro.workloads.tpch_queries import (
+    EVALUATED_TEMPLATES,
+    JOIN_TEMPLATES,
+    TEMPLATE_FUNCTIONS,
+    tables_for_templates,
+    tpch_query,
+)
+
+
+class TestTPCHGenerator:
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            TPCHGenerator(scale=0)
+
+    def test_row_counts_scale_linearly(self):
+        small = TPCHGenerator(scale=0.1)
+        assert small.rows_for("lineitem") == 6_000
+        assert small.rows_for("orders") == 1_500
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(WorkloadError):
+            TPCHGenerator(scale=0.1).rows_for("nation")
+        with pytest.raises(WorkloadError):
+            TPCHGenerator(scale=0.1).generate(["nation"])
+
+    def test_generate_all_tables(self, tpch_tables):
+        assert set(tpch_tables) == set(BASE_ROWS)
+        for name, table in tpch_tables.items():
+            assert table.num_rows == TPCHGenerator(scale=0.1).rows_for(name)
+            table.schema.validate_columns(table.columns)
+
+    def test_schemas_match_declared(self, tpch_tables):
+        for name, table in tpch_tables.items():
+            assert table.schema.column_names == TPCH_SCHEMAS[name].column_names
+
+    def test_generation_is_deterministic(self):
+        a = TPCHGenerator(scale=0.05, seed=3).generate(["orders"])["orders"]
+        b = TPCHGenerator(scale=0.05, seed=3).generate(["orders"])["orders"]
+        assert np.array_equal(a.columns["o_orderdate"], b.columns["o_orderdate"])
+
+    def test_different_seeds_differ(self):
+        a = TPCHGenerator(scale=0.05, seed=3).generate(["orders"])["orders"]
+        b = TPCHGenerator(scale=0.05, seed=4).generate(["orders"])["orders"]
+        assert not np.array_equal(a.columns["o_orderdate"], b.columns["o_orderdate"])
+
+    def test_lineitem_orderkeys_reference_orders(self, tpch_tables):
+        order_keys = set(tpch_tables["orders"].columns["o_orderkey"].tolist())
+        assert set(tpch_tables["lineitem"].columns["l_orderkey"].tolist()).issubset(order_keys)
+
+    def test_lineitem_partkeys_reference_parts(self, tpch_tables):
+        part_keys = set(tpch_tables["part"].columns["p_partkey"].tolist())
+        assert set(tpch_tables["lineitem"].columns["l_partkey"].tolist()).issubset(part_keys)
+
+    def test_lineitem_fanout_roughly_four(self, tpch_tables):
+        fanout = tpch_tables["lineitem"].num_rows / tpch_tables["orders"].num_rows
+        assert 3.0 < fanout < 5.0
+
+    def test_ship_after_order_date(self, tpch_tables):
+        lineitem = tpch_tables["lineitem"].columns
+        orders = tpch_tables["orders"].columns
+        order_date = dict(zip(orders["o_orderkey"].tolist(), orders["o_orderdate"].tolist()))
+        ship = lineitem["l_shipdate"][:500]
+        keys = lineitem["l_orderkey"][:500]
+        assert all(s > order_date[k] for s, k in zip(ship.tolist(), keys.tolist()))
+
+    def test_primary_keys_are_unique(self, tpch_tables):
+        for table, key in (("orders", "o_orderkey"), ("customer", "c_custkey"),
+                           ("part", "p_partkey"), ("supplier", "s_suppkey")):
+            values = tpch_tables[table].columns[key]
+            assert len(np.unique(values)) == len(values)
+
+    def test_generate_subset_only(self):
+        tables = TPCHGenerator(scale=0.05).generate(["lineitem", "part"])
+        assert set(tables) == {"lineitem", "part"}
+
+
+class TestTemplates:
+    def test_all_paper_templates_available(self):
+        assert set(EVALUATED_TEMPLATES) == {"q3", "q5", "q6", "q8", "q10", "q12", "q14", "q19"}
+        assert set(JOIN_TEMPLATES) == set(EVALUATED_TEMPLATES) - {"q6"}
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(WorkloadError):
+            tpch_query("q99")
+
+    @pytest.mark.parametrize("template", sorted(TEMPLATE_FUNCTIONS))
+    def test_template_produces_valid_query(self, template, rng):
+        query = tpch_query(template, rng)
+        assert query.template == template
+        for table in query.predicates:
+            assert table in query.tables
+        for clause in query.joins:
+            assert clause.left_table in query.tables and clause.right_table in query.tables
+
+    @pytest.mark.parametrize("template", sorted(TEMPLATE_FUNCTIONS))
+    def test_template_predicates_reference_real_columns(self, template, rng, tpch_tables):
+        query = tpch_query(template, rng)
+        for table, predicates in query.predicates.items():
+            for predicate in predicates:
+                assert predicate.column in tpch_tables[table].schema
+
+    def test_q6_is_scan_only(self, rng):
+        assert not tpch_query("q6", rng).is_join_query
+
+    def test_lineitem_join_attribute_per_template(self, rng):
+        assert tpch_query("q12", rng).join_attribute("lineitem") == "l_orderkey"
+        assert tpch_query("q14", rng).join_attribute("lineitem") == "l_partkey"
+        assert tpch_query("q19", rng).join_attribute("lineitem") == "l_partkey"
+        assert tpch_query("q8", rng).join_attribute("lineitem") == "l_partkey"
+
+    def test_parameters_are_randomized(self):
+        rng = make_rng(1)
+        values = {tpch_query("q14", rng).predicates["lineitem"][0].value for _ in range(10)}
+        assert len(values) > 1
+
+    def test_selective_templates_actually_select(self, rng, tpch_tables):
+        """q14's one-month shipdate window keeps only a small fraction of lineitem."""
+        query = tpch_query("q14", rng)
+        mask = rows_matching(tpch_tables["lineitem"].columns, query.predicates_on("lineitem"))
+        assert 0 < mask.mean() < 0.10
+
+    def test_q5_has_no_lineitem_predicate(self, rng):
+        assert tpch_query("q5", rng).predicates_on("lineitem") == []
+
+    def test_tables_for_templates(self):
+        assert tables_for_templates(["q12"]) == ["lineitem", "orders"]
+        assert tables_for_templates(["q14", "q19"]) == ["lineitem", "part"]
+        assert "customer" in tables_for_templates(["q3"])

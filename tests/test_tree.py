@@ -1,0 +1,144 @@
+"""Tests for repro.partitioning.tree (routing, lookup, structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PartitioningError
+from repro.common.predicates import between, eq, gt, le
+from repro.partitioning.tree import PartitioningTree, TreeNode
+
+
+def two_level_tree() -> PartitioningTree:
+    """A 4-leaf tree: split on `a` at 50, then on `b` at 10 / 20."""
+    tree = PartitioningTree(
+        root=TreeNode(
+            attribute="a",
+            cutpoint=50.0,
+            left=TreeNode(attribute="b", cutpoint=10.0, left=TreeNode(), right=TreeNode()),
+            right=TreeNode(attribute="b", cutpoint=20.0, left=TreeNode(), right=TreeNode()),
+        )
+    )
+    tree.assign_block_ids([0, 1, 2, 3])
+    return tree
+
+
+class TestStructure:
+    def test_leaves_left_to_right(self):
+        assert two_level_tree().block_ids() == [0, 1, 2, 3]
+
+    def test_num_leaves_and_depth(self):
+        tree = two_level_tree()
+        assert tree.num_leaves == 4
+        assert tree.depth() == 2
+
+    def test_single_leaf_tree(self):
+        tree = PartitioningTree(root=TreeNode(block_id=7))
+        assert tree.num_leaves == 1
+        assert tree.depth() == 0
+        assert tree.lookup([]) == [7]
+
+    def test_attribute_counts(self):
+        assert two_level_tree().attribute_counts() == {"a": 1, "b": 2}
+
+    def test_assign_block_ids_length_mismatch(self):
+        tree = two_level_tree()
+        with pytest.raises(PartitioningError):
+            tree.assign_block_ids([1, 2])
+
+    def test_clone_is_deep(self):
+        tree = two_level_tree()
+        clone = tree.clone()
+        clone.root.cutpoint = 99.0
+        clone.leaves()[0].block_id = 42
+        assert tree.root.cutpoint == 50.0
+        assert tree.leaves()[0].block_id == 0
+
+    def test_describe_mentions_attributes_and_blocks(self):
+        text = two_level_tree().describe()
+        assert "a <= 50" in text and "leaf block=3" in text
+
+
+class TestRouting:
+    def test_route_rows_to_expected_leaves(self):
+        tree = two_level_tree()
+        columns = {
+            "a": np.array([0, 0, 100, 100]),
+            "b": np.array([5, 15, 15, 25]),
+        }
+        assert tree.route_rows(columns).tolist() == [0, 1, 2, 3]
+
+    def test_route_boundary_goes_left(self):
+        tree = two_level_tree()
+        columns = {"a": np.array([50]), "b": np.array([10])}
+        assert tree.route_rows(columns).tolist() == [0]
+
+    def test_route_empty_input(self):
+        assert two_level_tree().route_rows({}).size == 0
+
+    def test_route_missing_column_raises(self):
+        with pytest.raises(PartitioningError):
+            two_level_tree().route_rows({"a": np.array([1.0])})
+
+    def test_routing_partitions_every_row_exactly_once(self, rng):
+        tree = two_level_tree()
+        columns = {
+            "a": rng.uniform(0, 100, size=500),
+            "b": rng.uniform(0, 30, size=500),
+        }
+        leaves = tree.route_rows(columns)
+        assert len(leaves) == 500
+        assert set(np.unique(leaves)).issubset({0, 1, 2, 3})
+
+
+class TestLookup:
+    def test_no_predicates_returns_all_blocks(self):
+        assert two_level_tree().lookup([]) == [0, 1, 2, 3]
+
+    def test_predicate_on_root_attribute_prunes_half(self):
+        assert two_level_tree().lookup([le("a", 10)]) == [0, 1]
+        assert two_level_tree().lookup([gt("a", 60)]) == [2, 3]
+
+    def test_predicate_on_second_level(self):
+        assert two_level_tree().lookup([le("a", 10), le("b", 5)]) == [0]
+
+    def test_predicate_on_unknown_attribute_does_not_prune(self):
+        assert two_level_tree().lookup([eq("c", 1)]) == [0, 1, 2, 3]
+
+    def test_between_predicate_straddling_cutpoint(self):
+        assert two_level_tree().lookup([between("a", 40, 60)]) == [0, 1, 2, 3]
+
+    def test_unbound_leaves_are_skipped(self):
+        tree = PartitioningTree(
+            root=TreeNode(attribute="a", cutpoint=1.0, left=TreeNode(block_id=5), right=TreeNode())
+        )
+        assert tree.lookup([]) == [5]
+
+    def test_lookup_is_consistent_with_routing(self, rng):
+        """Every row routed to a leaf must be found by a point lookup for its values."""
+        tree = two_level_tree()
+        columns = {"a": rng.uniform(0, 100, size=50), "b": rng.uniform(0, 30, size=50)}
+        leaves = tree.route_rows(columns)
+        block_ids = tree.block_ids()
+        for index in range(50):
+            point_predicates = [
+                eq("a", float(columns["a"][index])),
+                eq("b", float(columns["b"][index])),
+            ]
+            assert block_ids[leaves[index]] in tree.lookup(point_predicates)
+
+
+class TestLeafBounds:
+    def test_bounds_on_root_attribute(self):
+        bounds = two_level_tree().leaf_bounds("a")
+        assert bounds[0][1] == 50.0 and bounds[3][0] == 50.0
+
+    def test_bounds_on_lower_attribute(self):
+        bounds = two_level_tree().leaf_bounds("b")
+        assert bounds[0] == (-np.inf, 10.0)
+        assert bounds[3] == (20.0, np.inf)
+
+    def test_bounds_on_absent_attribute_are_infinite(self):
+        bounds = two_level_tree().leaf_bounds("missing")
+        assert all(lo == -np.inf and hi == np.inf for lo, hi in bounds.values())

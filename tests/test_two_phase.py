@@ -1,0 +1,124 @@
+"""Tests for repro.partitioning.two_phase (join levels + selection levels)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PartitioningError
+from repro.partitioning.two_phase import TwoPhasePartitioner, default_join_levels
+from repro.partitioning.tree import TreeNode
+
+
+def make_sample(n: int = 4096):
+    rng = np.random.default_rng(2)
+    return {
+        "join_key": rng.integers(0, 10_000, size=n).astype(float),
+        "date": rng.integers(0, 2500, size=n).astype(float),
+        "flag": rng.integers(0, 3, size=n).astype(float),
+    }
+
+
+class TestDefaultJoinLevels:
+    def test_half_of_depth_by_default(self):
+        assert default_join_levels(16) == 2
+        assert default_join_levels(256) == 4
+
+    def test_single_leaf_has_no_levels(self):
+        assert default_join_levels(1) == 0
+
+    def test_fraction_zero_and_one(self):
+        assert default_join_levels(64, 0.0) == 0
+        assert default_join_levels(64, 1.0) == 6
+
+
+class TestTwoPhasePartitioner:
+    def build(self, num_leaves=16, join_levels=None, fraction=0.5):
+        partitioner = TwoPhasePartitioner(
+            join_attribute="join_key",
+            selection_attributes=["date", "flag"],
+            join_level_fraction=fraction,
+        )
+        sample = make_sample()
+        return partitioner.build(
+            sample, total_rows=len(sample["join_key"]), num_leaves=num_leaves, join_levels=join_levels
+        )
+
+    def test_missing_join_attribute_rejected(self):
+        partitioner = TwoPhasePartitioner("missing", ["date"])
+        with pytest.raises(PartitioningError):
+            partitioner.build(make_sample(), total_rows=100)
+
+    def test_tree_records_join_metadata(self):
+        tree = self.build(num_leaves=16)
+        assert tree.join_attribute == "join_key"
+        assert tree.join_levels == 2
+
+    def test_top_levels_split_on_join_attribute(self):
+        tree = self.build(num_leaves=16, join_levels=2)
+
+        def attributes_at_depth(node: TreeNode, depth: int) -> set[str]:
+            if node.is_leaf:
+                return set()
+            if depth == 0:
+                return {node.attribute}
+            return attributes_at_depth(node.left, depth - 1) | attributes_at_depth(
+                node.right, depth - 1
+            )
+
+        assert attributes_at_depth(tree.root, 0) == {"join_key"}
+        assert attributes_at_depth(tree.root, 1) == {"join_key"}
+        assert "join_key" not in attributes_at_depth(tree.root, 2)
+
+    def test_zero_join_levels_uses_only_selection_attributes(self):
+        tree = self.build(num_leaves=8, join_levels=0)
+        assert "join_key" not in tree.attribute_counts()
+
+    def test_full_join_levels_uses_only_join_attribute(self):
+        tree = self.build(num_leaves=8, join_levels=3)
+        assert set(tree.attribute_counts()) == {"join_key"}
+
+    def test_join_levels_clamped_to_depth(self):
+        tree = self.build(num_leaves=4, join_levels=10)
+        assert tree.join_levels <= math.ceil(math.log2(4))
+
+    def test_leaf_count_from_rows_per_block(self):
+        partitioner = TwoPhasePartitioner("join_key", ["date"], rows_per_block=512)
+        sample = make_sample(4096)
+        tree = partitioner.build(sample, total_rows=4096)
+        assert tree.num_leaves == 8
+
+    def test_median_splits_produce_disjoint_join_ranges(self):
+        """Phase one must create disjoint, covering ranges on the join attribute."""
+        sample = make_sample()
+        tree = self.build(num_leaves=8, join_levels=3)
+        tree.assign_block_ids(list(range(8)))
+        bounds = tree.leaf_bounds("join_key")
+        ordered = sorted(bounds.values())
+        for (lo_a, hi_a), (lo_b, hi_b) in zip(ordered, ordered[1:]):
+            assert hi_a <= lo_b or math.isclose(hi_a, lo_b)
+
+    def test_join_partitions_are_balanced_under_skew(self):
+        """Median-based splitting balances blocks even for skewed join keys."""
+        rng = np.random.default_rng(3)
+        sample = {
+            "join_key": (rng.pareto(1.5, size=8192) * 100).astype(float),
+            "date": rng.uniform(0, 100, size=8192),
+        }
+        partitioner = TwoPhasePartitioner("join_key", ["date"])
+        tree = partitioner.build(sample, total_rows=8192, num_leaves=8, join_levels=3)
+        counts = np.bincount(tree.route_rows(sample), minlength=8)
+        assert counts.min() > 0
+        assert counts.max() <= 3 * counts.min()
+
+    def test_selection_attributes_missing_from_sample_are_ignored(self):
+        partitioner = TwoPhasePartitioner("join_key", ["not_there", "date"])
+        tree = partitioner.build(make_sample(), total_rows=1000, num_leaves=8, join_levels=1)
+        assert "not_there" not in tree.attribute_counts()
+
+    def test_tree_id_propagated(self):
+        partitioner = TwoPhasePartitioner("join_key", ["date"])
+        tree = partitioner.build(make_sample(), total_rows=100, num_leaves=2, tree_id=9)
+        assert tree.tree_id == 9

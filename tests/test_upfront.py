@@ -1,0 +1,90 @@
+"""Tests for repro.partitioning.upfront (the Amoeba upfront partitioner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PartitioningError
+from repro.partitioning.upfront import UpfrontPartitioner, leaves_for_block_budget
+
+
+class TestLeavesForBlockBudget:
+    def test_exact_division(self):
+        assert leaves_for_block_budget(1000, 100) == 10
+
+    def test_rounds_up(self):
+        assert leaves_for_block_budget(1001, 100) == 11
+
+    def test_small_tables_get_single_block(self):
+        assert leaves_for_block_budget(5, 100) == 1
+        assert leaves_for_block_budget(0, 100) == 1
+
+    def test_invalid_block_size(self):
+        with pytest.raises(PartitioningError):
+            leaves_for_block_budget(100, 0)
+
+
+class TestUpfrontPartitioner:
+    def make_sample(self, n: int = 2048):
+        rng = np.random.default_rng(1)
+        return {
+            "a": rng.uniform(0, 1, size=n),
+            "b": rng.integers(0, 100, size=n).astype(float),
+            "c": rng.normal(0, 10, size=n),
+            "d": rng.integers(0, 5, size=n).astype(float),
+        }
+
+    def test_requires_attributes(self):
+        with pytest.raises(PartitioningError):
+            UpfrontPartitioner(attributes=[]).build(self.make_sample(), total_rows=100)
+
+    def test_number_of_leaves_matches_block_budget(self):
+        partitioner = UpfrontPartitioner(attributes=["a", "b"], rows_per_block=256)
+        tree = partitioner.build(self.make_sample(), total_rows=2048)
+        assert tree.num_leaves == 8
+
+    def test_explicit_leaf_override(self):
+        partitioner = UpfrontPartitioner(attributes=["a", "b"])
+        tree = partitioner.build(self.make_sample(), total_rows=2048, num_leaves=5)
+        assert tree.num_leaves == 5
+
+    def test_tree_has_no_join_attribute(self):
+        tree = UpfrontPartitioner(["a"]).build(self.make_sample(), 100, num_leaves=2)
+        assert tree.join_attribute is None
+        assert tree.join_levels == 0
+
+    def test_heterogeneous_branching_uses_many_attributes(self):
+        """With 16 leaves and 4 attributes, every attribute should appear in the tree."""
+        partitioner = UpfrontPartitioner(attributes=["a", "b", "c", "d"])
+        tree = partitioner.build(self.make_sample(), total_rows=4096, num_leaves=16)
+        counts = tree.attribute_counts()
+        assert set(counts) == {"a", "b", "c", "d"}
+
+    def test_attribute_usage_is_roughly_balanced(self):
+        partitioner = UpfrontPartitioner(attributes=["a", "b", "c"])
+        partitioner.build(self.make_sample(), total_rows=8192, num_leaves=32)
+        usage = partitioner.attribute_usage
+        assert max(usage.values()) - min(usage.values()) <= max(2, max(usage.values()) // 2)
+
+    def test_attribute_usage_before_build(self):
+        assert UpfrontPartitioner(["a", "b"]).attribute_usage == {"a": 0, "b": 0}
+
+    def test_routing_spreads_rows(self):
+        sample = self.make_sample()
+        partitioner = UpfrontPartitioner(attributes=["a", "b", "c"])
+        tree = partitioner.build(sample, total_rows=len(sample["a"]), num_leaves=8)
+        counts = np.bincount(tree.route_rows(sample), minlength=8)
+        assert counts.min() > 0
+
+    def test_any_attribute_query_can_skip_blocks(self):
+        """The Amoeba promise: a predicate on any partitioned attribute prunes some blocks."""
+        from repro.common.predicates import le
+
+        sample = self.make_sample()
+        partitioner = UpfrontPartitioner(attributes=["a", "b", "c", "d"])
+        tree = partitioner.build(sample, total_rows=len(sample["a"]), num_leaves=16)
+        tree.assign_block_ids(list(range(16)))
+        for attribute in ("a", "b", "c"):
+            pruned = tree.lookup([le(attribute, float(np.quantile(sample[attribute], 0.05)))])
+            assert len(pruned) < 16

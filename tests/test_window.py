@@ -1,0 +1,92 @@
+"""Tests for repro.adaptive.window (the query window)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.window import QueryWindow
+from repro.common.errors import PlanningError
+from repro.common.predicates import eq, gt
+from repro.common.query import join_query, scan_query
+
+
+def l_o_query(template="q12"):
+    return join_query(
+        "lineitem", "orders", "l_orderkey", "o_orderkey",
+        predicates={"lineitem": [gt("l_shipdate", 10)]}, template=template,
+    )
+
+
+def l_p_query(template="q14"):
+    return join_query(
+        "lineitem", "part", "l_partkey", "p_partkey",
+        predicates={"part": [eq("p_brand", 3)]}, template=template,
+    )
+
+
+class TestWindowBasics:
+    def test_size_must_be_positive(self):
+        with pytest.raises(PlanningError):
+            QueryWindow(size=0)
+
+    def test_fifo_eviction(self):
+        window = QueryWindow(size=3)
+        queries = [scan_query("t", template=f"q{i}") for i in range(5)]
+        for query in queries:
+            window.add(query)
+        assert len(window) == 3
+        assert [q.template for q in window.queries] == ["q2", "q3", "q4"]
+
+    def test_iteration_matches_queries(self):
+        window = QueryWindow(size=5)
+        window.add(l_o_query())
+        assert list(window) == window.queries
+
+    def test_clear(self):
+        window = QueryWindow(size=5)
+        window.add(l_o_query())
+        window.clear()
+        assert len(window) == 0
+
+
+class TestWindowAggregates:
+    def test_join_attribute_counts_per_table(self):
+        window = QueryWindow(size=10)
+        for _ in range(3):
+            window.add(l_o_query())
+        for _ in range(2):
+            window.add(l_p_query())
+        assert window.join_attribute_counts("lineitem") == {"l_orderkey": 3, "l_partkey": 2}
+        assert window.join_attribute_counts("orders") == {"o_orderkey": 3}
+        assert window.count_join_attribute("lineitem", "l_partkey") == 2
+        assert window.count_join_attribute("lineitem", "l_suppkey") == 0
+
+    def test_scan_queries_do_not_count_join_attributes(self):
+        window = QueryWindow(size=10)
+        window.add(scan_query("lineitem"))
+        assert window.join_attribute_counts("lineitem") == {}
+
+    def test_predicate_attribute_counts(self):
+        window = QueryWindow(size=10)
+        window.add(l_o_query())
+        window.add(l_o_query())
+        window.add(l_p_query())
+        assert window.predicate_attribute_counts("lineitem") == {"l_shipdate": 2}
+        assert window.predicate_attribute_counts("part") == {"p_brand": 1}
+
+    def test_counts_respect_eviction(self):
+        window = QueryWindow(size=2)
+        window.add(l_o_query())
+        window.add(l_p_query())
+        window.add(l_p_query())
+        assert window.count_join_attribute("lineitem", "l_orderkey") == 0
+        assert window.count_join_attribute("lineitem", "l_partkey") == 2
+
+    def test_queries_on_table(self):
+        window = QueryWindow(size=10)
+        window.add(l_o_query())
+        window.add(l_p_query())
+        window.add(scan_query("orders"))
+        assert len(window.queries_on("lineitem")) == 2
+        assert len(window.queries_on("orders")) == 2
+        assert len(window.queries_on("customer")) == 0
