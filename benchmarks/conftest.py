@@ -12,16 +12,6 @@ from __future__ import annotations
 import pytest
 
 
-def run_once(benchmark, function, *args, **kwargs):
-    """Execute ``function`` exactly once under pytest-benchmark timing.
-
-    The experiment drivers are deterministic simulations, so a single round
-    is enough; this keeps the full benchmark suite fast while still recording
-    wall-clock timings for every figure.
-    """
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
-
-
 @pytest.fixture
 def show():
     """Print an experiment result table beneath the benchmark output."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig01_copartition
 
-from conftest import run_once
+from repro.testing import run_once
 
 
 def test_fig01_copartition(benchmark, show):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig08_scaling
 
-from conftest import run_once
+from repro.testing import run_once
 
 
 def test_fig08_dataset_scaling(benchmark, show):

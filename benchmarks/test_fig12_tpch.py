@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig12_tpch
 
-from conftest import run_once
+from repro.testing import run_once
 
 
 def test_fig12_tpch_per_template(benchmark, show):

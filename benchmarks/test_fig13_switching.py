@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig13_adaptation
 
-from conftest import run_once
+from repro.testing import run_once
 
 
 def test_fig13a_switching_workload(benchmark, show):

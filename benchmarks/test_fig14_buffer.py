@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig14_buffer
 
-from conftest import run_once
+from repro.testing import run_once
 
 
 def test_fig14_memory_buffer(benchmark, show):

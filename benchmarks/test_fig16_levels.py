@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig16_levels
 
-from conftest import run_once
+from repro.testing import run_once
 
 
 def test_fig16a_with_predicates(benchmark, show):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig17_ilp
 
-from conftest import run_once
+from repro.testing import run_once
 
 
 def test_fig17_ilp_vs_approximate(benchmark, show):

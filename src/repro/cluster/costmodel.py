@@ -84,8 +84,29 @@ class CostModel:
         return local_reads + remote_reads * self.remote_read_penalty
 
     # ------------------------------------------------------------------ #
+    # Parallel execution: makespan and stragglers
+    # ------------------------------------------------------------------ #
+    def makespan(self, machine_costs: list[float]) -> float:
+        """Parallel completion time in cost units: the max per-machine cost.
+
+        The serial sum (``sum(machine_costs)``) is what the paper's model
+        charges; the makespan is what a cluster actually waits for — the
+        machine with the heaviest task load.  The gap between
+        ``makespan`` and ``sum / len`` is the straggler overhead.
+        """
+        return max(machine_costs) if machine_costs else 0.0
+
+    def makespan_seconds(self, machine_costs: list[float]) -> float:
+        """Makespan converted to modelled wall-clock seconds."""
+        return self.makespan(machine_costs) * self.seconds_per_block
+
+    # ------------------------------------------------------------------ #
     # Presentation
     # ------------------------------------------------------------------ #
     def to_seconds(self, cost_units: float) -> float:
-        """Convert cost units into modelled seconds on the whole cluster."""
+        """Convert cost units into modelled seconds on the whole cluster.
+
+        This is the idealised conversion (perfect parallelism); use
+        :meth:`makespan_seconds` for the schedule-aware runtime.
+        """
         return cost_units * self.seconds_per_block / max(self.parallelism, 1)

@@ -1,148 +1,16 @@
-"""Query executor (Section 6, "Query Executor").
+"""Query executor (Section 6, "Query Executor") — compatibility shim.
 
-The executor turns a :class:`QueryPlan` into block reads: scan tasks for
-single-table access, shuffle-join or hyper-join tasks per join decision, plus
-the repartitioning work the optimizer scheduled for this query (Type 2
-blocks).  All I/O is accounted through the cost model so every query run
-yields the block counts and modelled runtime the paper's figures report.
+The executor proper lives in :mod:`repro.exec`: query plans are compiled into
+per-machine task lists (scan, shuffle map/reduce, hyper-join group and
+repartition tasks), placed by a locality-aware scheduler and executed with
+batched block reads.  This module re-exports the public names so existing
+imports (``from repro.core.executor import Executor, QueryResult``) keep
+working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..exec.engine import Executor
+from ..exec.result import QueryResult
 
-from ..cluster.cluster import Cluster
-from ..common.query import Query
-from ..join.hyperjoin import execute_hyper_join, plan_hyper_join
-from ..join.shuffle import JoinStats, shuffle_join
-from ..storage.catalog import Catalog
-from .config import AdaptDBConfig
-from .optimizer import JoinDecision, QueryPlan
-from .planner import JoinMethod
-
-
-@dataclass
-class QueryResult:
-    """Outcome and accounting of one executed query.
-
-    Attributes:
-        query: The executed query.
-        output_rows: Join output cardinality (or matching row count for pure
-            scans).
-        blocks_read: Total blocks read by scans and joins (first-pass reads).
-        blocks_repartitioned: Blocks rewritten by adaptation during this query.
-        shuffled_blocks: Blocks that went through a shuffle.
-        cost_units: Total modelled cost in block accesses.
-        runtime_seconds: Cost converted to modelled seconds.
-        join_methods: Join algorithm used per join clause.
-        join_stats: Detailed per-join statistics.
-        trees_created: New partitioning trees created while adapting.
-    """
-
-    query: Query
-    output_rows: int = 0
-    blocks_read: int = 0
-    blocks_repartitioned: int = 0
-    shuffled_blocks: int = 0
-    cost_units: float = 0.0
-    runtime_seconds: float = 0.0
-    join_methods: list[str] = field(default_factory=list)
-    join_stats: list[JoinStats] = field(default_factory=list)
-    trees_created: int = 0
-
-    @property
-    def used_hyper_join(self) -> bool:
-        """Whether any join of the query ran as a hyper-join."""
-        return any(method == "hyper" for method in self.join_methods)
-
-
-@dataclass
-class Executor:
-    """Executes query plans against the stored tables."""
-
-    catalog: Catalog
-    cluster: Cluster
-    config: AdaptDBConfig
-
-    def execute(self, plan: QueryPlan) -> QueryResult:
-        """Run ``plan`` and return the accounted result."""
-        cost_model = self.cluster.cost_model
-        result = QueryResult(query=plan.query)
-
-        # 1. Adaptation work scheduled by the optimizer (Type 2 blocks).
-        result.blocks_repartitioned = plan.adaptation.blocks_repartitioned
-        result.trees_created = plan.adaptation.trees_created
-        result.cost_units += cost_model.repartition_cost(plan.adaptation.blocks_repartitioned)
-
-        # 2. Pure scans (tables not participating in any join).
-        for table_name in plan.scan_tables:
-            table = self.catalog.get(table_name)
-            predicates = plan.query.predicates_on(table_name)
-            block_ids = plan.scan_blocks.get(table_name, [])
-            matched = 0
-            for block_id in block_ids:
-                block = table.dfs.get_block(block_id)
-                matched += block.matching_count(predicates)
-            result.blocks_read += len(block_ids)
-            result.cost_units += cost_model.scan_cost(len(block_ids))
-            if not plan.join_decisions:
-                result.output_rows += matched
-
-        # 3. Joins.
-        for index, decision in enumerate(plan.join_decisions):
-            stats = self._execute_join(plan.query, decision)
-            result.join_stats.append(stats)
-            result.join_methods.append(stats.method)
-            result.blocks_read += stats.total_blocks_read
-            result.shuffled_blocks += stats.shuffled_blocks
-            result.cost_units += stats.cost_units
-            if index == 0:
-                result.output_rows = stats.output_rows
-
-        result.runtime_seconds = cost_model.to_seconds(result.cost_units)
-        return result
-
-    # ------------------------------------------------------------------ #
-    # Join execution
-    # ------------------------------------------------------------------ #
-    def _execute_join(self, query: Query, decision: JoinDecision) -> JoinStats:
-        dfs = self.catalog.get(decision.build_table).dfs
-        cost_model = self.cluster.cost_model
-        build_column = decision.clause.column_for(decision.build_table)
-        probe_column = decision.clause.column_for(decision.probe_table)
-        build_predicates = query.predicates_on(decision.build_table)
-        probe_predicates = query.predicates_on(decision.probe_table)
-
-        if decision.method is JoinMethod.SHUFFLE:
-            return shuffle_join(
-                dfs,
-                decision.build_blocks,
-                decision.probe_blocks,
-                build_column,
-                probe_column,
-                build_predicates,
-                probe_predicates,
-                cost_model,
-                num_partitions=self.cluster.num_machines,
-            )
-
-        hyper_plan = decision.hyper_plan
-        if hyper_plan is None:
-            hyper_plan = plan_hyper_join(
-                dfs,
-                decision.build_blocks,
-                decision.probe_blocks,
-                build_column,
-                probe_column,
-                self.config.buffer_blocks,
-                self.config.grouping_algorithm,
-            )
-        return execute_hyper_join(
-            dfs,
-            hyper_plan,
-            build_column,
-            probe_column,
-            build_predicates,
-            probe_predicates,
-            cost_model,
-        )
+__all__ = ["Executor", "QueryResult"]

@@ -1,0 +1,33 @@
+"""Task-based parallel execution engine.
+
+The engine replaces the old serial executor loop: a :class:`QueryPlan` is
+*compiled* into per-machine work units (scan tasks, shuffle map/reduce tasks,
+hyper-join group tasks, repartition tasks), a locality-aware scheduler places
+the tasks on the cluster's machines, and every task reads all its blocks with
+one batched DFS call.  Runtime is accounted both ways: the serial cost sum
+(the paper's block-access model) and the *makespan* — the maximum per-machine
+load — which is what a distributed deployment would actually observe,
+stragglers included.
+
+* ``repro.exec.tasks``     — task and schedule data structures
+* ``repro.exec.scheduler`` — plan compilation and locality-aware placement
+* ``repro.exec.engine``    — the executor that runs a schedule
+* ``repro.exec.result``    — per-query accounting (:class:`QueryResult`)
+"""
+
+from .engine import Executor
+from .result import QueryResult
+from .scheduler import CompiledPlan, Scheduler, compile_plan, replica_hints
+from .tasks import Task, TaskKind, TaskSchedule
+
+__all__ = [
+    "CompiledPlan",
+    "Executor",
+    "QueryResult",
+    "Scheduler",
+    "Task",
+    "TaskKind",
+    "TaskSchedule",
+    "compile_plan",
+    "replica_hints",
+]

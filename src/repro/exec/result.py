@@ -1,0 +1,79 @@
+"""Per-query accounting produced by the execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.query import Query
+from ..join.shuffle import JoinStats
+
+
+@dataclass
+class QueryResult:
+    """Outcome and accounting of one executed query.
+
+    Attributes:
+        query: The executed query.
+        output_rows: Cardinality of the query's *final* join (the answer the
+            query returns); for pure-scan queries, the number of matching
+            rows.  Per-join cardinalities live in ``join_stats``.
+        scan_output_rows: Rows matched by pure scans (tables not taking part
+            in any join), accounted separately from join output so mixed
+            scan+join queries report both.
+        blocks_read: Total blocks read by scans and joins (first-pass reads).
+        blocks_repartitioned: Blocks rewritten by adaptation during this query.
+        shuffled_blocks: Blocks that went through a shuffle.
+        cost_units: Total modelled cost in block accesses (the serial sum).
+        runtime_seconds: Serial cost converted to modelled seconds assuming
+            perfect parallelism (``cost_units / parallelism``).
+        machine_cost_units: Scheduled cost per machine (index = machine id).
+        makespan_cost_units: Maximum per-machine cost — the parallel
+            completion time of the task schedule in block accesses.
+        makespan_seconds: Makespan converted to modelled seconds.
+        tasks_scheduled: Number of tasks the plan compiled into.
+        join_methods: Join algorithm used per join clause.
+        join_stats: Detailed per-join statistics.
+        trees_created: New partitioning trees created while adapting.
+    """
+
+    query: Query
+    output_rows: int = 0
+    scan_output_rows: int = 0
+    blocks_read: int = 0
+    blocks_repartitioned: int = 0
+    shuffled_blocks: int = 0
+    cost_units: float = 0.0
+    runtime_seconds: float = 0.0
+    machine_cost_units: list[float] = field(default_factory=list)
+    makespan_cost_units: float = 0.0
+    makespan_seconds: float = 0.0
+    tasks_scheduled: int = 0
+    join_methods: list[str] = field(default_factory=list)
+    join_stats: list[JoinStats] = field(default_factory=list)
+    trees_created: int = 0
+
+    @property
+    def used_hyper_join(self) -> bool:
+        """Whether any join of the query ran as a hyper-join."""
+        return any(method == "hyper" for method in self.join_methods)
+
+    @property
+    def straggler_factor(self) -> float:
+        """Makespan relative to a perfectly balanced cluster (>= 1.0).
+
+        1.0 means every machine finished at the same time; 2.0 means the
+        slowest machine carried twice the average load.
+        """
+        if not self.machine_cost_units:
+            return 1.0
+        total = sum(self.machine_cost_units)
+        if total <= 0.0:
+            return 1.0
+        return self.makespan_cost_units / (total / len(self.machine_cost_units))
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Serial cost sum over makespan: the speedup the schedule achieves."""
+        if self.makespan_cost_units <= 0.0:
+            return 1.0
+        return self.cost_units / self.makespan_cost_units

@@ -1,0 +1,141 @@
+"""Work units of the parallel execution engine.
+
+A query plan is compiled into :class:`Task` objects — the unit the scheduler
+places and a simulated machine executes.  Tasks are pure descriptions (which
+blocks to read, what share of the modelled cost they carry); all row-level
+work happens in the engine so tasks stay cheap to create and schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TaskKind(Enum):
+    """The five work-unit shapes a query plan compiles into."""
+
+    SCAN = "scan"
+    SHUFFLE_MAP = "shuffle_map"
+    SHUFFLE_REDUCE = "shuffle_reduce"
+    HYPER_GROUP = "hyper_group"
+    REPARTITION = "repartition"
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Attributes:
+        task_id: Unique id within the compiled plan (compilation order).
+        kind: What the task does.
+        cost_units: Modelled cost in block accesses; the scheduler balances
+            machines on this value and the makespan is derived from it.
+        table: Table read by scan tasks and shuffle-map tasks.
+        block_ids: Blocks the task reads (build-side blocks for hyper-join
+            group tasks).
+        probe_block_ids: Probe-side blocks of a hyper-join group task.
+        join_index: Index into the plan's join decisions, for join tasks.
+        side: ``"build"`` or ``"probe"`` for shuffle-map tasks.
+        partition_index: Shuffle partition a reduce task is responsible for.
+        group_index: Hyper-join group a group task executes.
+        stage: Barrier stage; stage 1 tasks (shuffle reducers) only run after
+            every stage 0 task finished.
+        replica_hints: Machine id -> how many of the task's blocks have a
+            replica there.  The scheduler's locality signal.
+    """
+
+    task_id: int
+    kind: TaskKind
+    cost_units: float
+    table: str | None = None
+    block_ids: tuple[int, ...] = ()
+    probe_block_ids: tuple[int, ...] = ()
+    join_index: int | None = None
+    side: str | None = None
+    partition_index: int | None = None
+    group_index: int | None = None
+    stage: int = 0
+    replica_hints: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def read_block_ids(self) -> tuple[int, ...]:
+        """Every block the task reads (build + probe sides)."""
+        return self.block_ids + self.probe_block_ids
+
+    def local_blocks_on(self, machine_id: int) -> int:
+        """How many of the task's blocks have a replica on ``machine_id``."""
+        return self.replica_hints.get(machine_id, 0)
+
+
+@dataclass
+class TaskSchedule:
+    """A complete placement of tasks onto machines.
+
+    Attributes:
+        num_machines: Size of the cluster the schedule targets.
+        assignments: Machine id -> tasks placed there (placement order).
+    """
+
+    num_machines: int
+    assignments: dict[int, list[Task]]
+
+    @property
+    def tasks(self) -> list[Task]:
+        """All scheduled tasks, ordered by (stage, task id)."""
+        every = [task for placed in self.assignments.values() for task in placed]
+        return sorted(every, key=lambda task: (task.stage, task.task_id))
+
+    def placements(self) -> list[tuple[int, Task]]:
+        """(machine id, task) pairs in deterministic execution order.
+
+        Stage 0 tasks run before stage 1 tasks (the shuffle barrier); within
+        a stage, compilation order.  The engine iterates this to execute.
+        """
+        pairs = [
+            (machine_id, task)
+            for machine_id, placed in self.assignments.items()
+            for task in placed
+        ]
+        return sorted(pairs, key=lambda pair: (pair[1].stage, pair[1].task_id))
+
+    @property
+    def machine_loads(self) -> list[float]:
+        """Total assigned cost per machine (index = machine id)."""
+        loads = [0.0] * self.num_machines
+        for machine_id, placed in self.assignments.items():
+            loads[machine_id] += sum(task.cost_units for task in placed)
+        return loads
+
+    @property
+    def total_cost(self) -> float:
+        """Serial cost sum: what one machine running everything would pay."""
+        return sum(self.machine_loads)
+
+    @property
+    def makespan(self) -> float:
+        """Parallel completion time: the maximum per-machine load."""
+        loads = self.machine_loads
+        return max(loads) if loads else 0.0
+
+    @property
+    def straggler_factor(self) -> float:
+        """Makespan relative to a perfectly balanced cluster (>= 1.0)."""
+        total = self.total_cost
+        if total <= 0.0 or self.num_machines == 0:
+            return 1.0
+        return self.makespan / (total / self.num_machines)
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of scheduled block reads served from a local replica."""
+        local = 0
+        total = 0
+        for machine_id, placed in self.assignments.items():
+            for task in placed:
+                blocks = len(task.read_block_ids)
+                total += blocks
+                local += min(blocks, task.local_blocks_on(machine_id))
+        if total == 0:
+            return 1.0
+        return local / total

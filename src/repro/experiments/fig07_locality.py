@@ -6,15 +6,20 @@ fraction of HDFS blocks that are local to their reader and finds that even at
 assumption that remote reads cost roughly the same as local reads (an 8 %
 penalty, following [3]).
 
-The reproduction evaluates the same quantity directly from the cost model: a
-full scan of the ``lineitem`` table at the paper's four locality levels.
+The reproduction compiles the same map-only scan into per-machine tasks with
+the execution engine's scheduler, so the per-machine block counts (and hence
+the job's makespan) come from actual locality-aware placement; the paper's
+four locality levels are then applied to the most loaded machine's reads to
+produce the response-time series.
 """
 
 from __future__ import annotations
 
 from ..cluster.costmodel import CostModel
+from ..common.query import scan_query
 from ..core.adaptdb import AdaptDB
 from ..core.config import AdaptDBConfig
+from ..exec.scheduler import Scheduler, compile_plan
 from ..workloads.tpch import TPCHGenerator
 from .harness import ExperimentResult
 
@@ -33,8 +38,16 @@ def run(scale: float = 0.3, rows_per_block: int = 512, seed: int = 1) -> Experim
     num_blocks = len(stored.non_empty_block_ids())
     cost_model: CostModel = db.cluster.cost_model
 
+    # Compile and schedule the map-only scan; the makespan (blocks on the
+    # most loaded machine) is what the job actually waits for.
+    plan = db.plan(scan_query("lineitem"), adapt=False)
+    compiled = compile_plan(plan, db.catalog, db.cluster, db.config)
+    schedule = Scheduler(db.cluster.num_machines).schedule(compiled.tasks)
+
     runtimes = [
-        cost_model.to_seconds(cost_model.scan_cost(num_blocks, locality))
+        cost_model.makespan_seconds(
+            [cost_model.scan_cost(load, locality) for load in schedule.machine_loads]
+        )
         for locality in LOCALITY_LEVELS
     ]
 
@@ -51,6 +64,10 @@ def run(scale: float = 0.3, rows_per_block: int = 512, seed: int = 1) -> Experim
     result.notes["slowdown_at_27pct"] = f"{slowdown * 100:.1f}%"
     result.notes["paper_slowdown_at_27pct"] = "~18%"
     result.notes["blocks_scanned"] = num_blocks
+    result.notes["scan_tasks"] = len(compiled.tasks)
+    result.notes["makespan_blocks"] = schedule.makespan
+    result.notes["straggler_factor"] = round(schedule.straggler_factor, 3)
+    result.notes["scheduler_locality"] = round(schedule.locality_fraction, 3)
     return result
 
 

@@ -16,7 +16,7 @@ from ..common.query import join_query
 from ..core.adaptdb import AdaptDB
 from ..core.config import AdaptDBConfig
 from ..workloads.tpch import TPCHGenerator
-from .harness import ExperimentResult
+from .harness import ExperimentResult, parallelism_notes
 
 #: Relative dataset sizes mirroring the paper's 175G / 320G / 453G / 580G points.
 RELATIVE_SIZES = [0.30, 0.55, 0.78, 1.00]
@@ -26,6 +26,8 @@ def run(scale: float = 0.4, rows_per_block: int = 512, seed: int = 1) -> Experim
     """Reproduce Figure 8: shuffle-join runtime at four dataset sizes."""
     query = join_query("lineitem", "orders", "l_orderkey", "o_orderkey", template="fig8")
     runtimes: list[float] = []
+    makespans: list[float] = []
+    results = []
     labels: list[str] = []
 
     for relative in RELATIVE_SIZES:
@@ -43,7 +45,9 @@ def run(scale: float = 0.4, rows_per_block: int = 512, seed: int = 1) -> Experim
         for table in tables.values():
             db.load_table(table)
         result = db.run(query, adapt=False)
+        results.append(result)
         runtimes.append(result.runtime_seconds)
+        makespans.append(result.makespan_seconds)
         labels.append(f"{relative:.2f}x")
 
     sizes = np.asarray(RELATIVE_SIZES)
@@ -61,8 +65,10 @@ def run(scale: float = 0.4, rows_per_block: int = 512, seed: int = 1) -> Experim
         y_label="modelled runtime (seconds)",
     )
     experiment.add_series("running_time", labels, runtimes)
+    experiment.add_series("makespan_time", labels, makespans)
     experiment.notes["linear_fit_r_squared"] = round(r_squared, 4)
     experiment.notes["paper_observation"] = "runtime increases linearly with dataset size"
+    experiment.notes.update(parallelism_notes(results))
     return experiment
 
 

@@ -92,3 +92,21 @@ class ExperimentResult:
     def summary(self) -> dict[str, float]:
         """Per-series totals, useful for quick assertions in tests and benches."""
         return {series.label: series.total for series in self.series}
+
+
+def parallelism_notes(results: list) -> dict[str, float]:
+    """Makespan/straggler summary of a list of :class:`QueryResult` objects.
+
+    Figure drivers attach this to their ``notes`` so every figure records how
+    the task scheduler actually spread the work, not just the serial cost sum.
+    """
+    with_schedule = [r for r in results if r.makespan_cost_units > 0.0]
+    if not with_schedule:
+        return {}
+    mean_straggler = sum(r.straggler_factor for r in with_schedule) / len(with_schedule)
+    mean_speedup = sum(r.parallel_speedup for r in with_schedule) / len(with_schedule)
+    return {
+        "mean_straggler_factor": round(mean_straggler, 3),
+        "mean_parallel_speedup": round(mean_speedup, 2),
+        "total_makespan_cost": round(sum(r.makespan_cost_units for r in with_schedule), 1),
+    }

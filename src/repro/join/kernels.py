@@ -9,8 +9,14 @@ reference join.  Both needs are served by counting key multiplicities.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+
+from ..common.predicates import Predicate, rows_matching
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..storage.block import Block
 
 
 @dataclass
@@ -66,6 +72,56 @@ def join_match_count(left: KeyHistogram, right: KeyHistogram) -> int:
 def join_match_count_arrays(left_keys: np.ndarray, right_keys: np.ndarray) -> int:
     """Convenience wrapper: join cardinality of two raw key arrays."""
     return join_match_count(KeyHistogram.from_keys(left_keys), KeyHistogram.from_keys(right_keys))
+
+
+def gather_columns(blocks: Iterable["Block"], columns: list[str]) -> dict[str, np.ndarray]:
+    """Concatenate the named columns of a batch of blocks row-wise.
+
+    Empty blocks contribute nothing.  Returns empty int64 arrays when no block
+    holds any rows, so downstream mask/partition kernels work unchanged.
+    """
+    parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+    for block in blocks:
+        if block.num_rows == 0:
+            continue
+        for name in columns:
+            parts[name].append(block.column(name))
+    return {
+        name: (np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64))
+        for name, arrays in parts.items()
+    }
+
+
+def gather_filtered_keys(
+    blocks: Iterable["Block"], key_column: str, predicates: list[Predicate]
+) -> np.ndarray:
+    """Join keys of a batch of blocks surviving ``predicates``, in one pass.
+
+    Instead of filtering block by block, the key column and every predicate
+    column are concatenated across the batch and the predicate masks are
+    evaluated once over the concatenation — the vectorized inner loop of the
+    scan and shuffle-map tasks.
+    """
+    needed = [key_column] + sorted({p.column for p in predicates} - {key_column})
+    columns = gather_columns(blocks, needed)
+    keys = columns[key_column]
+    if not predicates or len(keys) == 0:
+        return keys
+    return keys[rows_matching(columns, predicates)]
+
+
+def batch_matching_count(blocks: Iterable["Block"], predicates: list[Predicate]) -> int:
+    """Rows of a batch of blocks matching all ``predicates`` (vectorized).
+
+    With no predicates this is simply the batch's total row count; otherwise
+    the predicate columns are concatenated across the batch and every
+    predicate mask is evaluated once.
+    """
+    blocks = list(blocks)
+    if not predicates:
+        return sum(block.num_rows for block in blocks)
+    columns = gather_columns(blocks, sorted({p.column for p in predicates}))
+    return int(rows_matching(columns, predicates).sum())
 
 
 def hash_partition(keys: np.ndarray, num_partitions: int) -> np.ndarray:

@@ -120,6 +120,22 @@ class DistributedFileSystem:
             self.read_stats.remote_reads += 1
         return block
 
+    def get_blocks(
+        self, block_ids: list[int], reader_machine: int | None = None
+    ) -> list[Block]:
+        """Read a batch of blocks in one call, accounting locality per block.
+
+        Tasks issue one ``get_blocks`` call for all blocks they touch instead
+        of one ``get_block`` per block; the returned list preserves the order
+        of ``block_ids``.
+
+        Args:
+            block_ids: Blocks to read.
+            reader_machine: Machine performing the read.  ``None`` falls back
+                to the per-block round-robin of :meth:`get_block`.
+        """
+        return [self.get_block(block_id, reader_machine) for block_id in block_ids]
+
     def peek_block(self, block_id: int) -> Block:
         """Return a block without recording a read (metadata access)."""
         try:

@@ -10,7 +10,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.common.predicates import rows_matching
 from repro.common.rng import make_rng
 from repro.common.schema import DataType, Schema
 from repro.core import AdaptDB, AdaptDBConfig
@@ -62,26 +61,3 @@ def simple_table():
         "value": rng.uniform(0.0, 100.0, size=1000),
     }
     return ColumnTable("simple", schema, columns)
-
-
-def reference_join_count(
-    left: ColumnTable,
-    right: ColumnTable,
-    left_column: str,
-    right_column: str,
-    left_predicates=None,
-    right_predicates=None,
-) -> int:
-    """Ground-truth equi-join cardinality computed directly on the raw tables."""
-    left_mask = rows_matching(left.columns, list(left_predicates or []))
-    right_mask = rows_matching(right.columns, list(right_predicates or []))
-    left_keys = left.columns[left_column][left_mask]
-    right_keys = right.columns[right_column][right_mask]
-    if len(left_keys) == 0 or len(right_keys) == 0:
-        return 0
-    left_unique, left_counts = np.unique(left_keys, return_counts=True)
-    right_unique, right_counts = np.unique(right_keys, return_counts=True)
-    common, left_idx, right_idx = np.intersect1d(
-        left_unique, right_unique, assume_unique=True, return_indices=True
-    )
-    return int((left_counts[left_idx] * right_counts[right_idx]).sum())

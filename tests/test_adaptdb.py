@@ -11,7 +11,7 @@ from repro.core import AdaptDB, AdaptDBConfig
 from repro.partitioning.two_phase import TwoPhasePartitioner
 from repro.workloads.tpch_queries import tpch_query
 
-from conftest import reference_join_count
+from repro.testing import reference_join_count
 
 
 class TestLoading:

@@ -22,7 +22,7 @@ from repro.workloads.generators import switching_workload
 from repro.workloads.tpch import TPCHGenerator
 from repro.workloads.tpch_queries import tpch_query
 
-from conftest import reference_join_count
+from repro.testing import reference_join_count
 
 
 @pytest.fixture(scope="module")

@@ -19,7 +19,7 @@ from repro.partitioning.upfront import UpfrontPartitioner
 from repro.storage.dfs import DistributedFileSystem
 from repro.storage.table import ColumnTable, StoredTable
 
-from conftest import reference_join_count
+from repro.testing import reference_join_count
 
 
 @pytest.fixture
