@@ -1,0 +1,255 @@
+"""Adaptation-path benchmark: fig13-style workload plus storage microbenchmarks.
+
+Times the hot paths this repo's incremental-statistics work targets:
+
+* **end-to-end** — an AdaptDB run (smooth repartitioning + Amoeba refinement
+  per query) over a fig13-style switching TPC-H workload at a small block
+  size, where per-query bookkeeping dominates,
+* **lookup** — repeated partitioning-tree lookups through ``StoredTable``,
+* **route** — repeated ``PartitioningTree.route_rows`` calls,
+* **append** — repeated block-append cycles (``move_blocks`` back and forth
+  between two trees), the smooth-repartitioning write path.
+
+Besides wall-clock numbers the end-to-end run records a *decision
+fingerprint* — per-query ``output_rows``, blocks read, blocks repartitioned
+and trees created — so that before/after runs can prove the optimization
+changed nothing observable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_adaptation.py --label post
+    PYTHONPATH=src python benchmarks/perf/bench_adaptation.py --smoke --out /tmp/b.json
+
+Results are merged into ``BENCH_adaptation.json`` (repo root by default)
+under the given label, so a ``pre`` entry captured on the old engine survives
+a later ``post`` run.  When both ``pre`` and ``post`` are present the script
+reports the speedup and verifies the fingerprints match.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.runners import AdaptDBRunner
+from repro.common.predicates import between
+from repro.common.rng import make_rng
+from repro.core.config import AdaptDBConfig
+from repro.partitioning.two_phase import TwoPhasePartitioner
+from repro.workloads.generators import switching_workload
+from repro.workloads.tpch import TPCHGenerator
+from repro.workloads.tpch_queries import EVALUATED_TEMPLATES, tables_for_templates
+
+DEFAULT_OUT = Path(__file__).resolve().parents[2] / "BENCH_adaptation.json"
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end adaptation workload
+# --------------------------------------------------------------------------- #
+
+def run_adaptation_workload(
+    scale: float, rows_per_block: int, queries_per_template: int, seed: int = 1
+) -> dict:
+    """Run the fig13-style switching workload and return timing + fingerprint."""
+    templates = list(EVALUATED_TEMPLATES)
+    rng = make_rng(seed)
+    tables = list(
+        TPCHGenerator(scale=scale, seed=seed)
+        .generate(tables_for_templates(templates))
+        .values()
+    )
+    queries = switching_workload(templates, queries_per_template, rng)
+    config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
+
+    runner = AdaptDBRunner(tables, config)
+    start = time.perf_counter()
+    results = runner.run_workload(queries)
+    elapsed = time.perf_counter() - start
+
+    per_query = {
+        "output_rows": [int(r.output_rows) for r in results],
+        "scan_output_rows": [int(r.scan_output_rows) for r in results],
+        "blocks_read": [int(r.blocks_read) for r in results],
+        "blocks_repartitioned": [int(r.blocks_repartitioned) for r in results],
+        "trees_created": [int(r.trees_created) for r in results],
+    }
+    fingerprint = hashlib.sha256(
+        json.dumps(per_query, sort_keys=True).encode()
+    ).hexdigest()
+    return {
+        "seconds": round(elapsed, 4),
+        "num_queries": len(queries),
+        "scale": scale,
+        "rows_per_block": rows_per_block,
+        "fingerprint": fingerprint,
+        "per_query": per_query,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Microbenchmarks
+# --------------------------------------------------------------------------- #
+
+def _build_stored_table(num_rows: int, rows_per_block: int):
+    from repro.cluster import Cluster
+    from repro.common.schema import DataType, Schema
+    from repro.storage.dfs import DistributedFileSystem
+    from repro.storage.table import ColumnTable, StoredTable
+    from repro.partitioning.upfront import UpfrontPartitioner
+
+    rng = np.random.default_rng(7)
+    schema = Schema.of(("key", DataType.INT), ("other", DataType.INT), ("value", DataType.FLOAT))
+    columns = {
+        "key": rng.integers(0, 100_000, size=num_rows),
+        "other": rng.integers(0, 1_000, size=num_rows),
+        "value": rng.uniform(0, 1, size=num_rows),
+    }
+    table = ColumnTable("bench", schema, columns)
+    tree = UpfrontPartitioner(["key", "other"], rows_per_block).build(
+        table.sample(rng=np.random.default_rng(8)), total_rows=num_rows
+    )
+    dfs = DistributedFileSystem(cluster=Cluster(num_machines=4), rng=make_rng(3))
+    return StoredTable.load(table, dfs, tree, rows_per_block=rows_per_block)
+
+
+def bench_lookup(num_rows: int, rows_per_block: int, iterations: int) -> dict:
+    """Repeated StoredTable.lookup calls with a selective range predicate."""
+    stored = _build_stored_table(num_rows, rows_per_block)
+    predicates = [between("key", 10_000, 30_000)]
+    stored.lookup(predicates)  # warm-up
+    start = time.perf_counter()
+    matched = 0
+    for _ in range(iterations):
+        matched += len(stored.lookup(predicates))
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "iterations": iterations,
+        "per_call_us": round(elapsed / iterations * 1e6, 2),
+        "blocks_matched": matched // iterations,
+    }
+
+
+def bench_route(num_rows: int, rows_per_block: int, iterations: int) -> dict:
+    """Repeated route_rows calls over a fixed batch of rows."""
+    stored = _build_stored_table(num_rows, rows_per_block)
+    tree = stored.tree(next(iter(stored.trees)))
+    rng = np.random.default_rng(11)
+    batch = {
+        "key": rng.integers(0, 100_000, size=4096),
+        "other": rng.integers(0, 1_000, size=4096),
+        "value": rng.uniform(0, 1, size=4096),
+    }
+    tree.route_rows(batch)  # warm-up
+    start = time.perf_counter()
+    for _ in range(iterations):
+        tree.route_rows(batch)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "iterations": iterations,
+        "per_call_us": round(elapsed / iterations * 1e6, 2),
+    }
+
+
+def bench_append(num_rows: int, rows_per_block: int, cycles: int) -> dict:
+    """Move every block back and forth between two trees (append-heavy path)."""
+    stored = _build_stored_table(num_rows, rows_per_block)
+    source_tree = next(iter(stored.trees))
+    tree = TwoPhasePartitioner("key", ["other"], rows_per_block=rows_per_block).build(
+        stored.sample,
+        total_rows=stored.total_rows,
+        num_leaves=max(2, stored.total_rows // rows_per_block),
+    )
+    target_tree = stored.add_empty_tree(tree)
+    start = time.perf_counter()
+    rows_moved = 0
+    for cycle in range(cycles):
+        target = target_tree if cycle % 2 == 0 else source_tree
+        stats = stored.move_blocks(stored.block_ids(), target)
+        rows_moved += stats.rows_moved
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": round(elapsed, 4),
+        "cycles": cycles,
+        "rows_moved": rows_moved,
+        "rows_per_second": round(rows_moved / elapsed) if elapsed else None,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+
+def run_suite(smoke: bool) -> dict:
+    if smoke:
+        e2e = run_adaptation_workload(scale=0.02, rows_per_block=64, queries_per_template=2)
+        micro_rows, micro_rpb, iters, cycles = 20_000, 128, 50, 2
+    else:
+        # rows_per_block=64 is the small-block regime where per-query
+        # bookkeeping dominates — the regime the incremental-statistics work
+        # targets (the acceptance bar is rows_per_block <= 512).
+        e2e = run_adaptation_workload(scale=0.1, rows_per_block=64, queries_per_template=6)
+        micro_rows, micro_rpb, iters, cycles = 100_000, 128, 200, 6
+    return {
+        "mode": "smoke" if smoke else "full",
+        "end_to_end": e2e,
+        "micro": {
+            "lookup": bench_lookup(micro_rows, micro_rpb, iters),
+            "route": bench_route(micro_rows, micro_rpb, iters),
+            "append": bench_append(micro_rows, micro_rpb, cycles),
+        },
+    }
+
+
+def compare(data: dict) -> int:
+    """Report pre/post speedup and fingerprint equality; non-zero on mismatch."""
+    pre, post = data.get("pre"), data.get("post")
+    if not (pre and post):
+        return 0
+    if pre["mode"] != post["mode"]:
+        print(f"note: pre mode {pre['mode']!r} != post mode {post['mode']!r}; skipping comparison")
+        return 0
+    speedup = pre["end_to_end"]["seconds"] / max(post["end_to_end"]["seconds"], 1e-9)
+    same = pre["end_to_end"]["fingerprint"] == post["end_to_end"]["fingerprint"]
+    print(f"end-to-end speedup: {speedup:.2f}x "
+          f"({pre['end_to_end']['seconds']}s -> {post['end_to_end']['seconds']}s)")
+    for name in ("lookup", "route", "append"):
+        p, q = pre["micro"][name]["seconds"], post["micro"][name]["seconds"]
+        print(f"  micro/{name}: {p / max(q, 1e-9):.2f}x ({p}s -> {q}s)")
+    print(f"decision fingerprint identical: {same}")
+    if not same:
+        print("ERROR: pre/post decision fingerprints differ", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="post", choices=["pre", "post"],
+                        help="which slot of the JSON to write")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="output JSON path (merged, not overwritten)")
+    args = parser.parse_args()
+
+    data = {}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+    data[args.label] = run_suite(args.smoke)
+    status = compare(data)
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out} [{args.label}] "
+          f"(end-to-end {data[args.label]['end_to_end']['seconds']}s)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..common.predicates import Predicate
 from ..partitioning.builders import median_cutpoint
-from ..partitioning.tree import PartitioningTree, TreeNode
+from ..partitioning.tree import TreeNode
 from ..storage.table import StoredTable
 from .window import QueryWindow
 
@@ -64,11 +64,20 @@ class AmoebaAdaptor:
         max_transforms_per_query: Upper bound on transformations applied per
             incoming query; keeps adaptation incremental.
         benefit_threshold: Minimum net benefit required to apply a transform.
+
+    Candidate enumeration runs every query over every bottom-level node, so
+    its two pure sub-computations are memoized: candidate cutpoints (the
+    table sample never changes, so a (table, attribute, bounds) key is exact)
+    and the per-predicate-set block-touch counts used by the benefit
+    estimate (keyed on the node's split and the query's predicate tuple).
     """
 
     repartition_cost_per_block: float = 2.5
     max_transforms_per_query: int = 1
     benefit_threshold: float = 0.0
+    _cutpoint_cache: dict = field(default_factory=dict, repr=False)
+    _touched_cache: dict = field(default_factory=dict, repr=False)
+    _predicate_tokens: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------ #
     # Candidate generation
@@ -86,22 +95,47 @@ class AmoebaAdaptor:
         if not hot_attributes:
             return []
 
-        window_queries = window.queries_on(table.name)
+        # Tokenize each window query's predicate tuple once (the benefit memo
+        # keys on the small integer token instead of re-hashing the predicate
+        # dataclasses per candidate) and index the window entries by the
+        # attributes they actually constrain: an entry without a predicate on
+        # a split attribute always touches both leaves, so only the relevant
+        # entries need per-cutpoint evaluation.
+        self._trim_caches()
+        window_predicates: list[tuple[int, tuple[Predicate, ...]]] = []
+        entries_by_attr: dict[str, list[tuple[int, tuple[Predicate, ...]]]] = {}
+        for query in window.queries_on(table.name):
+            predicates = tuple(query.predicates_on(table.name))
+            if not predicates:
+                continue
+            token = self._predicate_tokens.setdefault(
+                predicates, len(self._predicate_tokens)
+            )
+            window_predicates.append((token, predicates))
+            for column in {predicate.column for predicate in predicates}:
+                entries_by_attr.setdefault(column, []).append((token, predicates))
+        total_entries = len(window_predicates)
         candidates: list[TransformCandidate] = []
         for tree_id, tree in table.trees.items():
-            for node, bounds in _bottom_internal_nodes(tree):
+            for node, bounds in tree.bottom_internal_nodes():
                 if tree.join_attribute is not None and node.attribute == tree.join_attribute:
                     # Never down-grade a join-attribute split into a selection
                     # split: the join levels are managed by smooth repartitioning.
                     continue
+                # One nested cache level per (table, bounds): attribute keys
+                # are plain strings whose hashes python caches, so the hot
+                # memo-hit path never re-hashes the bounds tuple.
+                node_cutpoints = self._cutpoint_cache.setdefault(
+                    (table.name, tuple(sorted(bounds.items()))), {}
+                )
                 for attribute in hot_attributes:
                     if attribute == node.attribute:
                         continue
-                    cutpoint = self._cutpoint_for(table, attribute, bounds)
+                    cutpoint = self._cutpoint_for(table, attribute, bounds, node_cutpoints)
                     if cutpoint is None:
                         continue
                     benefit = self._estimate_benefit(
-                        table, tree, node, attribute, cutpoint, window_queries
+                        node, attribute, cutpoint, entries_by_attr, total_entries
                     )
                     if benefit > self.benefit_threshold:
                         candidates.append(
@@ -115,6 +149,21 @@ class AmoebaAdaptor:
                         )
         candidates.sort(key=lambda candidate: -candidate.benefit)
         return candidates
+
+    _MEMO_LIMIT = 16_384
+
+    def _trim_caches(self) -> None:
+        """Bound the memo tables for workloads with non-repeating predicates.
+
+        ``_touched_cache`` keys on tokens issued by ``_predicate_tokens``,
+        so the two must be dropped together — clearing only the tokens would
+        let a reissued token alias a stale cached count.
+        """
+        if len(self._predicate_tokens) > self._MEMO_LIMIT or len(self._touched_cache) > self._MEMO_LIMIT:
+            self._predicate_tokens.clear()
+            self._touched_cache.clear()
+        if len(self._cutpoint_cache) > self._MEMO_LIMIT:
+            self._cutpoint_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Adaptation
@@ -144,118 +193,113 @@ class AmoebaAdaptor:
         right_id = node.right.block_id
         if left_id is None or right_id is None:
             return 0
-
-        left_block = table.dfs.peek_block(left_id)
-        right_block = table.dfs.peek_block(right_id)
-        merged = {
-            name: np.concatenate([left_block.columns[name], right_block.columns[name]])
-            for name in left_block.columns
-        }
-        rows_moved = len(next(iter(merged.values()))) if merged else 0
-
-        node.attribute = candidate.new_attribute
-        node.cutpoint = candidate.new_cutpoint
-
-        values = merged.get(candidate.new_attribute)
-        if values is None or rows_moved == 0:
-            return 0
-        goes_left = values <= candidate.new_cutpoint
-        table.dfs.peek_block(left_id).columns = {
-            name: array[goes_left] for name, array in merged.items()
-        }
-        table.dfs.peek_block(right_id).columns = {
-            name: array[~goes_left] for name, array in merged.items()
-        }
-        for block_id in (left_id, right_id):
-            block = table.dfs.peek_block(block_id)
-            block.ranges = {
-                name: (float(array.min()), float(array.max()))
-                for name, array in block.columns.items()
-                if len(array)
-            }
-            block.size_bytes = int(sum(array.nbytes for array in block.columns.values()))
-        return rows_moved
+        table.tree(candidate.tree_id).resplit_node(
+            node, candidate.new_attribute, candidate.new_cutpoint
+        )
+        return table.resplit_leaf_pair(
+            left_id, right_id, candidate.new_attribute, candidate.new_cutpoint
+        )
 
     # ------------------------------------------------------------------ #
     # Benefit estimation
     # ------------------------------------------------------------------ #
     def _estimate_benefit(
         self,
-        table: StoredTable,
-        tree: PartitioningTree,
         node: TreeNode,
         attribute: str,
         cutpoint: float,
-        window_queries,
+        entries_by_attr: dict[str, list[tuple[int, tuple[Predicate, ...]]]],
+        total_entries: int,
     ) -> float:
         """Blocks saved over the window if ``node`` were re-split on ``attribute``."""
         assert node.left is not None and node.right is not None
-        saved = 0.0
-        for query in window_queries:
-            predicates = query.predicates_on(table.name)
-            if not predicates:
-                continue
-            current = self._blocks_touched(node, node.attribute, node.cutpoint, predicates)
-            proposed = self._blocks_touched(node, attribute, cutpoint, predicates)
-            saved += current - proposed
-        return saved - self.repartition_cost_per_block * 2
+        current = self._touched_sum(node.attribute, node.cutpoint, entries_by_attr, total_entries)
+        proposed = self._touched_sum(attribute, cutpoint, entries_by_attr, total_entries)
+        return float(current - proposed) - self.repartition_cost_per_block * 2
 
-    @staticmethod
-    def _blocks_touched(
-        node: TreeNode, attribute: str | None, cutpoint: float | None, predicates: list[Predicate]
+    def _touched_sum(
+        self,
+        attribute: str | None,
+        cutpoint: float | None,
+        entries_by_attr: dict[str, list[tuple[int, tuple[Predicate, ...]]]],
+        total_entries: int,
     ) -> int:
-        """How many of the node's two leaf blocks the predicates must read."""
+        """Σ over the window of blocks touched under one (attribute, cutpoint) split.
+
+        Window entries without a predicate on ``attribute`` contribute a flat
+        2 (both leaves read); only the entries indexed under ``attribute``
+        need per-cutpoint evaluation.
+        """
+        if attribute is None or cutpoint is None:
+            return 2 * total_entries
+        relevant = entries_by_attr.get(attribute)
+        if not relevant:
+            return 2 * total_entries
+        return 2 * (total_entries - len(relevant)) + sum(
+            self._blocks_touched(attribute, cutpoint, predicates, token)
+            for token, predicates in relevant
+        )
+
+    def _blocks_touched(
+        self,
+        attribute: str | None,
+        cutpoint: float | None,
+        predicates: tuple[Predicate, ...],
+        token: int,
+    ) -> int:
+        """How many of a bottom node's two leaf blocks the predicates must read."""
         if attribute is None or cutpoint is None:
             return 2
+        key = (attribute, cutpoint, token)
+        cached = self._touched_cache.get(key)
+        if cached is not None:
+            return cached
         relevant = [predicate for predicate in predicates if predicate.column == attribute]
         if not relevant:
-            return 2
-        touched = 0
-        if all(predicate.may_match_range(-math.inf, cutpoint) for predicate in relevant):
-            touched += 1
-        if all(predicate.may_match_range(cutpoint, math.inf) for predicate in relevant):
-            touched += 1
-        return max(touched, 0)
+            touched = 2
+        else:
+            touched = 0
+            if all(predicate.may_match_range(-math.inf, cutpoint) for predicate in relevant):
+                touched += 1
+            if all(predicate.may_match_range(cutpoint, math.inf) for predicate in relevant):
+                touched += 1
+            touched = max(touched, 0)
+        self._touched_cache[key] = touched
+        return touched
 
     def _cutpoint_for(
-        self, table: StoredTable, attribute: str, bounds: dict[str, tuple[float, float]]
+        self,
+        table: StoredTable,
+        attribute: str,
+        bounds: dict[str, tuple[float, float]],
+        memo: dict | None = None,
     ) -> float | None:
-        """Median of ``attribute`` in the table sample, restricted to ``bounds``."""
+        """Median of ``attribute`` in the table sample, restricted to ``bounds``.
+
+        The sample is fixed at load time, so results are memoized per
+        ``(table, bounds)`` in ``memo`` (a nested level of
+        ``_cutpoint_cache``) under the attribute name.
+        """
+        if memo is None:
+            memo = self._cutpoint_cache.setdefault(
+                (table.name, tuple(sorted(bounds.items()))), {}
+            )
+        if attribute in memo:
+            return memo[attribute]
         sample = table.sample
         if attribute not in sample or len(sample[attribute]) == 0:
-            return None
-        mask = np.ones(len(sample[attribute]), dtype=bool)
-        for bounded_attribute, (lo, hi) in bounds.items():
-            if bounded_attribute in sample:
-                values = sample[bounded_attribute]
-                mask &= (values >= lo) & (values <= hi)
-        subset = sample[attribute][mask]
-        if len(subset) < 2:
-            subset = sample[attribute]
-        return median_cutpoint(subset)
+            cutpoint = None
+        else:
+            mask = np.ones(len(sample[attribute]), dtype=bool)
+            for bounded_attribute, (lo, hi) in bounds.items():
+                if bounded_attribute in sample:
+                    values = sample[bounded_attribute]
+                    mask &= (values >= lo) & (values <= hi)
+            subset = sample[attribute][mask]
+            if len(subset) < 2:
+                subset = sample[attribute]
+            cutpoint = median_cutpoint(subset)
+        memo[attribute] = cutpoint
+        return cutpoint
 
 
-def _bottom_internal_nodes(
-    tree: PartitioningTree,
-) -> list[tuple[TreeNode, dict[str, tuple[float, float]]]]:
-    """Internal nodes whose two children are both leaves, with their path bounds."""
-    result: list[tuple[TreeNode, dict[str, tuple[float, float]]]] = []
-
-    def descend(node: TreeNode, bounds: dict[str, tuple[float, float]]) -> None:
-        if node.is_leaf:
-            return
-        assert node.left is not None and node.right is not None
-        if node.left.is_leaf and node.right.is_leaf:
-            result.append((node, dict(bounds)))
-            return
-        assert node.attribute is not None and node.cutpoint is not None
-        lo, hi = bounds.get(node.attribute, (-math.inf, math.inf))
-        left_bounds = dict(bounds)
-        left_bounds[node.attribute] = (lo, min(hi, node.cutpoint))
-        right_bounds = dict(bounds)
-        right_bounds[node.attribute] = (max(lo, node.cutpoint), hi)
-        descend(node.left, left_bounds)
-        descend(node.right, right_bounds)
-
-    descend(tree.root, {})
-    return result

@@ -88,25 +88,20 @@ class AdaptiveRepartitioner:
         """
         self.window.add(query)
         report = RepartitionReport()
+        tables = [catalog.get(name) for name in query.tables if name in catalog]
 
         if self.enable_smooth:
-            for table_name in query.tables:
-                if table_name not in catalog:
-                    continue
-                table = catalog.get(table_name)
+            for table in tables:
                 plan = self.smooth.plan(table, query, self.window)
                 if plan.created_tree_id is not None:
                     report.trees_created += 1
                 stats = self.smooth.apply(table, plan)
-                report.record(table_name, stats.source_blocks, stats.rows_moved)
+                report.record(table.name, stats.source_blocks, stats.rows_moved)
 
         if self.enable_amoeba:
-            for table_name in query.tables:
-                if table_name not in catalog:
-                    continue
-                table = catalog.get(table_name)
+            for table in tables:
                 stats = self.amoeba.adapt(table, self.window)
                 report.amoeba_transforms += stats.transforms_applied
-                report.record(table_name, stats.blocks_repartitioned, stats.rows_moved)
+                report.record(table.name, stats.blocks_repartitioned, stats.rows_moved)
 
         return report

@@ -151,14 +151,14 @@ class SmoothRepartitioner:
 
     def _choose_blocks(self, table: StoredTable, target_tree_id: int, fraction: float) -> list[int]:
         """Randomly pick source blocks totalling ``fraction`` of the table's data."""
+        non_empty = table.non_empty_block_ids()
         candidates = [
             block_id
-            for block_id in table.non_empty_block_ids()
+            for block_id in non_empty
             if table.tree_of_block(block_id) != target_tree_id
         ]
         if not candidates or fraction <= 0:
             return []
-        total_blocks = len(table.non_empty_block_ids())
-        count = min(len(candidates), max(1, round(fraction * total_blocks)))
+        count = min(len(candidates), max(1, round(fraction * len(non_empty))))
         chosen = self.rng.choice(len(candidates), size=count, replace=False)
         return [candidates[int(index)] for index in chosen]

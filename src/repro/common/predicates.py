@@ -124,8 +124,18 @@ def rows_matching(columns: dict[str, np.ndarray], predicates: list[Predicate]) -
     """Return a boolean mask selecting rows of ``columns`` matching all ``predicates``.
 
     An empty predicate list matches every row.
+
+    Raises:
+        PlanningError: if ``predicates`` is non-empty but ``columns`` is an
+            empty dict — a miswired caller lost its projection, and silently
+            returning an all-false mask would hide that.
     """
     if not columns:
+        if predicates:
+            raise PlanningError(
+                "cannot evaluate predicates "
+                f"({', '.join(str(p) for p in predicates)}) without any columns"
+            )
         return np.zeros(0, dtype=bool)
     num_rows = len(next(iter(columns.values())))
     mask = np.ones(num_rows, dtype=bool)

@@ -140,7 +140,7 @@ class Executor:
 
         if task.kind is TaskKind.SCAN:
             dfs = self.catalog.get(task.table).dfs
-            blocks = dfs.get_blocks(list(task.block_ids), machine_id)
+            blocks = dfs.get_blocks(task.block_ids, machine_id)
             predicates = plan.query.predicates_on(task.table)
             result.scan_output_rows += batch_matching_count(blocks, predicates)
             result.blocks_read += len(task.block_ids)
@@ -151,7 +151,7 @@ class Executor:
 
         if task.kind is TaskKind.SHUFFLE_MAP:
             dfs = self.catalog.get(task.table).dfs
-            blocks = dfs.get_blocks(list(task.block_ids), machine_id)
+            blocks = dfs.get_blocks(task.block_ids, machine_id)
             column = decision.clause.column_for(task.table)
             keys = gather_filtered_keys(blocks, column, plan.query.predicates_on(task.table))
             partitions = (
@@ -178,13 +178,13 @@ class Executor:
         dfs = self.catalog.get(decision.build_table).dfs
         build_column = decision.clause.column_for(decision.build_table)
         probe_column = decision.clause.column_for(decision.probe_table)
-        build_blocks = dfs.get_blocks(list(task.block_ids), machine_id)
+        build_blocks = dfs.get_blocks(task.block_ids, machine_id)
         build_histogram = KeyHistogram.from_keys(
             gather_filtered_keys(
                 build_blocks, build_column, plan.query.predicates_on(decision.build_table)
             )
         )
-        probe_blocks = dfs.get_blocks(list(task.probe_block_ids), machine_id)
+        probe_blocks = dfs.get_blocks(task.probe_block_ids, machine_id)
         probe_histogram = KeyHistogram.from_keys(
             gather_filtered_keys(
                 probe_blocks, probe_column, plan.query.predicates_on(decision.probe_table)

@@ -19,6 +19,7 @@ module provides:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -102,23 +103,59 @@ def bottom_up_grouping(overlap: np.ndarray, budget: int) -> Grouping:
     """
     _check_inputs(overlap, budget)
     num_blocks = overlap.shape[0]
-    remaining = np.ones(num_blocks, dtype=bool)
     groups: list[list[int]] = []
 
-    current: list[int] = []
-    current_union = np.zeros(overlap.shape[1], dtype=bool)
-    while remaining.any():
-        candidate_indices = np.flatnonzero(remaining)
-        # δ(v_i ∨ ṽ(P)) for every remaining block, vectorized.
-        new_deltas = (overlap[candidate_indices] | current_union).sum(axis=1)
-        best = candidate_indices[int(np.argmin(new_deltas))]
-        current.append(int(best))
-        current_union |= overlap[best]
-        remaining[best] = False
-        if len(current) == budget or not remaining.any():
-            groups.append(current)
-            current = []
-            current_union = np.zeros(overlap.shape[1], dtype=bool)
+    if num_blocks <= 256:
+        packed = np.packbits(np.ascontiguousarray(overlap, dtype=bool), axis=1)
+        # Each block's overlap vector becomes one arbitrary-precision
+        # bitset: δ(v_i ∨ ṽ(P)) is an OR plus ``bit_count()`` — the same
+        # integers the boolean formulation produces, so the first-minimum
+        # tie-breaking is unchanged while the inner loop avoids per-
+        # iteration numpy dispatch on what are typically short vectors.
+        bitsets = [int.from_bytes(row.tobytes(), "big") for row in packed]
+        remaining = list(range(num_blocks))
+        current: list[int] = []
+        current_union = 0
+        while remaining:
+            best_position = 0
+            best_delta = (bitsets[remaining[0]] | current_union).bit_count()
+            for position in range(1, len(remaining)):
+                delta_here = (bitsets[remaining[position]] | current_union).bit_count()
+                if delta_here < best_delta:
+                    best_delta = delta_here
+                    best_position = position
+            best = remaining.pop(best_position)
+            current.append(best)
+            current_union |= bitsets[best]
+            if len(current) == budget or not remaining:
+                groups.append(current)
+                current = []
+                current_union = 0
+    else:
+        # Same greedy rule on the packed matrix with vectorized popcounts,
+        # which wins once the candidate set is large.  numpy < 2.0 has no
+        # bitwise_count; fall back to the boolean matrix there.
+        popcount = getattr(np, "bitwise_count", None)
+        if popcount is None:
+            matrix = np.ascontiguousarray(overlap, dtype=bool)
+            union_row = np.zeros(matrix.shape[1], dtype=bool)
+        else:
+            matrix = np.packbits(np.ascontiguousarray(overlap, dtype=bool), axis=1)
+            union_row = np.zeros(matrix.shape[1], dtype=np.uint8)
+        remaining_mask = np.ones(num_blocks, dtype=bool)
+        current = []
+        while remaining_mask.any():
+            candidate_indices = np.flatnonzero(remaining_mask)
+            unions = matrix[candidate_indices] | union_row
+            new_deltas = (popcount(unions) if popcount is not None else unions).sum(axis=1)
+            best = int(candidate_indices[int(np.argmin(new_deltas))])
+            current.append(best)
+            union_row = union_row | matrix[best]
+            remaining_mask[best] = False
+            if len(current) == budget or not remaining_mask.any():
+                groups.append(current)
+                current = []
+                union_row = np.zeros(matrix.shape[1], dtype=union_row.dtype)
 
     grouping = Grouping(groups=groups, algorithm="bottom_up")
     grouping.probe_reads_per_group = grouping_cost(overlap, groups)
@@ -179,8 +216,18 @@ GROUPING_ALGORITHMS = {
 }
 
 
+_GROUPING_CACHE: dict[tuple, Grouping] = {}
+_GROUPING_CACHE_LIMIT = 512
+
+
 def group_blocks(overlap: np.ndarray, budget: int, algorithm: str = "bottom_up") -> Grouping:
     """Dispatch to a named grouping algorithm.
+
+    Every algorithm is a deterministic pure function of the overlap matrix,
+    so results are memoized on the matrix bytes: the optimizer costs both
+    build directions of every hyper-join every query, and consecutive
+    queries from the same template reproduce the same overlap pattern.
+    Callers must treat the returned :class:`Grouping` as read-only.
 
     Args:
         overlap: The boolean overlap matrix ``V``.
@@ -193,4 +240,13 @@ def group_blocks(overlap: np.ndarray, budget: int, algorithm: str = "bottom_up")
         raise PlanningError(
             f"unknown grouping algorithm {algorithm!r}; choose from {sorted(GROUPING_ALGORITHMS)}"
         ) from None
-    return implementation(overlap, budget)
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(overlap, dtype=bool).tobytes(), digest_size=16
+    ).digest()
+    key = (overlap.shape, digest, budget, algorithm)
+    cached = _GROUPING_CACHE.get(key)
+    if cached is None:
+        if len(_GROUPING_CACHE) >= _GROUPING_CACHE_LIMIT:
+            _GROUPING_CACHE.clear()
+        cached = _GROUPING_CACHE[key] = implementation(overlap, budget)
+    return cached

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from ..common.errors import StorageError
 from ..common.predicates import Predicate, rows_matching
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
@@ -77,19 +78,36 @@ def join_match_count_arrays(left_keys: np.ndarray, right_keys: np.ndarray) -> in
 def gather_columns(blocks: Iterable["Block"], columns: list[str]) -> dict[str, np.ndarray]:
     """Concatenate the named columns of a batch of blocks row-wise.
 
-    Empty blocks contribute nothing.  Returns empty int64 arrays when no block
-    holds any rows, so downstream mask/partition kernels work unchanged.
+    Empty blocks contribute no rows but still supply dtype metadata, so an
+    empty batch keeps the source column dtype (a float predicate column must
+    not silently become int64 just because no block held rows).  int64 is
+    only the last-resort default when no block carries the column at all.
     """
-    parts: dict[str, list[np.ndarray]] = {name: [] for name in columns}
+    # Stream each block's raw parts (consolidated prefix + pending chunks):
+    # the batch concatenates across blocks anyway, so forcing a per-block
+    # consolidation first would just copy the data twice.
+    all_parts: list[dict[str, np.ndarray]] = []
+    dtypes: dict[str, np.dtype] = {}
     for block in blocks:
         if block.num_rows == 0:
+            block_columns = block.columns
+            for name in columns:
+                if name not in dtypes and name in block_columns:
+                    dtypes[name] = block_columns[name].dtype
             continue
-        for name in columns:
-            parts[name].append(block.column(name))
-    return {
-        name: (np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64))
-        for name, arrays in parts.items()
-    }
+        all_parts.extend(block.column_parts())
+    result: dict[str, np.ndarray] = {}
+    for name in columns:
+        try:
+            arrays = [part[name] for part in all_parts]
+        except KeyError:
+            raise StorageError(f"gathered blocks have no column {name!r}") from None
+        result[name] = (
+            np.concatenate(arrays)
+            if arrays
+            else np.empty(0, dtype=dtypes.get(name, np.int64))
+        )
+    return result
 
 
 def gather_filtered_keys(

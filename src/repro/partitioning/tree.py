@@ -14,6 +14,16 @@ the rest to the right subtree.  The tree answers two questions:
 In AdaptDB a tree may additionally carry a *join attribute*: the top
 ``join_levels`` levels split on that attribute (two-phase partitioning,
 Section 5.1).
+
+Both hot entry points run off a *compiled* form of the tree: flat numpy
+arrays (per-node attribute index, cutpoint and child offsets, plus the
+left-to-right leaf list) built once and cached until the structure changes.
+``lookup`` walks the arrays iteratively, narrowing one ``(lo, hi)`` interval
+per attribute in place instead of copying a bounds dict per node, and
+``route_rows`` advances all rows level-synchronously through the node arrays
+instead of rebuilding ``leaves()`` and an ``id()``-keyed index per call.
+Structural edits must go through :meth:`resplit_node` (or call
+:meth:`invalidate_compiled`) so the cache is rebuilt.
 """
 
 from __future__ import annotations
@@ -61,6 +71,30 @@ class TreeNode:
 
 
 @dataclass
+class CompiledTree:
+    """Flat, allocation-friendly form of a partitioning tree.
+
+    Nodes are numbered in preorder (root = 0).  ``node_attr[i]`` is the index
+    into ``attributes`` of node ``i``'s split attribute, or ``-1`` for a
+    leaf; ``left``/``right`` hold child node numbers (``-1`` for leaves) and
+    ``leaf_pos`` maps a leaf node number to its left-to-right leaf position.
+    ``leaf_nodes`` keeps the live :class:`TreeNode` references so block-id
+    (re)binding never stales the cache.
+    """
+
+    attributes: list[str]
+    attribute_index: dict[str, int]
+    node_attr: np.ndarray
+    cutpoints: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_pos: np.ndarray
+    leaf_nodes: list[TreeNode]
+    node_index: dict[int, int]
+    all_block_ids: list[int] | None = None
+
+
+@dataclass
 class PartitioningTree:
     """A complete partitioning tree for one table (or one join attribute of it).
 
@@ -76,32 +110,93 @@ class PartitioningTree:
     join_attribute: str | None = None
     join_levels: int = 0
     tree_id: int = 0
+    _compiled: CompiledTree | None = field(default=None, init=False, repr=False, compare=False)
+    _bottom_nodes: list | None = field(default=None, init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled form after a structural change to the tree."""
+        self._compiled = None
+        self._bottom_nodes = None
+
+    def compiled(self) -> CompiledTree:
+        """Return the compiled form, rebuilding it if the structure changed."""
+        if self._compiled is None:
+            self._compiled = self._compile()
+        return self._compiled
+
+    def _compile(self) -> CompiledTree:
+        nodes: list[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.append(node.right)
+                stack.append(node.left)
+        index_of = {id(node): index for index, node in enumerate(nodes)}
+
+        count = len(nodes)
+        attributes: list[str] = []
+        attribute_index: dict[str, int] = {}
+        node_attr = np.full(count, -1, dtype=np.int32)
+        cutpoints = np.zeros(count, dtype=np.float64)
+        left = np.full(count, -1, dtype=np.int32)
+        right = np.full(count, -1, dtype=np.int32)
+        leaf_pos = np.full(count, -1, dtype=np.int32)
+        leaf_nodes: list[TreeNode] = []
+
+        for index, node in enumerate(nodes):
+            if node.is_leaf:
+                leaf_pos[index] = len(leaf_nodes)
+                leaf_nodes.append(node)
+                continue
+            assert node.attribute is not None and node.cutpoint is not None
+            attr_index = attribute_index.get(node.attribute)
+            if attr_index is None:
+                attr_index = len(attributes)
+                attribute_index[node.attribute] = attr_index
+                attributes.append(node.attribute)
+            node_attr[index] = attr_index
+            cutpoints[index] = node.cutpoint
+            left[index] = index_of[id(node.left)]
+            right[index] = index_of[id(node.right)]
+
+        return CompiledTree(
+            attributes=attributes,
+            attribute_index=attribute_index,
+            node_attr=node_attr,
+            cutpoints=cutpoints,
+            left=left,
+            right=right,
+            leaf_pos=leaf_pos,
+            leaf_nodes=leaf_nodes,
+            node_index=index_of,
+        )
 
     # ------------------------------------------------------------------ #
     # Leaves
     # ------------------------------------------------------------------ #
     def leaves(self) -> list[TreeNode]:
         """All leaf nodes, left to right."""
-        result: list[TreeNode] = []
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            if node.is_leaf:
-                result.append(node)
-            else:
-                assert node.left is not None and node.right is not None
-                stack.append(node.right)
-                stack.append(node.left)
-        return result
+        return list(self.compiled().leaf_nodes)
 
     @property
     def num_leaves(self) -> int:
         """Number of leaves (data blocks) in the tree."""
-        return len(self.leaves())
+        return len(self.compiled().leaf_nodes)
 
     def block_ids(self) -> list[int]:
         """Block ids of all leaves that have been bound to blocks."""
-        return [leaf.block_id for leaf in self.leaves() if leaf.block_id is not None]
+        compiled = self.compiled()
+        if compiled.all_block_ids is None:
+            compiled.all_block_ids = [
+                leaf.block_id for leaf in compiled.leaf_nodes if leaf.block_id is not None
+            ]
+        return list(compiled.all_block_ids)
 
     def assign_block_ids(self, block_ids: list[int]) -> None:
         """Bind leaf nodes to DFS block ids, left to right.
@@ -110,16 +205,18 @@ class PartitioningTree:
             PartitioningError: if the number of ids differs from the number
                 of leaves.
         """
-        leaves = self.leaves()
+        compiled = self.compiled()
+        leaves = compiled.leaf_nodes
         if len(block_ids) != len(leaves):
             raise PartitioningError(
                 f"expected {len(leaves)} block ids, got {len(block_ids)}"
             )
         for leaf, block_id in zip(leaves, block_ids):
             leaf.block_id = block_id
+        compiled.all_block_ids = None
 
     # ------------------------------------------------------------------ #
-    # Structure inspection
+    # Structure inspection / mutation
     # ------------------------------------------------------------------ #
     def depth(self) -> int:
         """Depth of the tree (a single leaf has depth 0)."""
@@ -156,6 +253,67 @@ class PartitioningTree:
             tree_id=self.tree_id,
         )
 
+    def resplit_node(self, node: TreeNode, attribute: str, cutpoint: float) -> None:
+        """Change an internal node's split attribute/cutpoint (Amoeba transform).
+
+        This is the supported structural-mutation entry point.  A re-split
+        keeps the node's position, children, leaf order and path bounds, so
+        the compiled form is patched in place (and the bottom-node cache
+        stays valid) instead of being rebuilt from scratch every transform.
+        """
+        if node.is_leaf:
+            raise PartitioningError("cannot re-split a leaf node")
+        node.attribute = attribute
+        node.cutpoint = cutpoint
+        assert node.left is not None and node.right is not None
+        if not (node.left.is_leaf and node.right.is_leaf):
+            # Re-splitting above the bottom level changes descendants' path
+            # bounds; the bottom-node cache must be rebuilt.
+            self._bottom_nodes = None
+        compiled = self._compiled
+        if compiled is None:
+            return
+        index = compiled.node_index.get(id(node))
+        if index is None:  # node unknown to the cache — fall back to a rebuild
+            self.invalidate_compiled()
+            return
+        attr_index = compiled.attribute_index.get(attribute)
+        if attr_index is None:
+            attr_index = len(compiled.attributes)
+            compiled.attributes.append(attribute)
+            compiled.attribute_index[attribute] = attr_index
+        compiled.node_attr[index] = attr_index
+        compiled.cutpoints[index] = cutpoint
+
+    def bottom_internal_nodes(self) -> list[tuple[TreeNode, dict[str, tuple[float, float]]]]:
+        """Internal nodes whose two children are both leaves, with path bounds.
+
+        The result is cached alongside the compiled form (Amoeba enumerates
+        these every query); treat the bounds dicts as read-only.
+        """
+        if self._bottom_nodes is None:
+            result: list[tuple[TreeNode, dict[str, tuple[float, float]]]] = []
+
+            def descend(node: TreeNode, bounds: dict[str, tuple[float, float]]) -> None:
+                if node.is_leaf:
+                    return
+                assert node.left is not None and node.right is not None
+                if node.left.is_leaf and node.right.is_leaf:
+                    result.append((node, dict(bounds)))
+                    return
+                assert node.attribute is not None and node.cutpoint is not None
+                lo, hi = bounds.get(node.attribute, (-math.inf, math.inf))
+                left_bounds = dict(bounds)
+                left_bounds[node.attribute] = (lo, min(hi, node.cutpoint))
+                right_bounds = dict(bounds)
+                right_bounds[node.attribute] = (max(lo, node.cutpoint), hi)
+                descend(node.left, left_bounds)
+                descend(node.right, right_bounds)
+
+            descend(self.root, {})
+            self._bottom_nodes = result
+        return self._bottom_nodes
+
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
@@ -166,6 +324,10 @@ class PartitioningTree:
         callers map it to block ids via :meth:`block_ids` or handle the
         grouping themselves (as the loader does before block ids exist).
 
+        All rows advance one tree level per iteration over the compiled node
+        arrays, so the work is a handful of vectorized passes instead of a
+        per-node recursion.
+
         Args:
             columns: Column name -> value array; must contain every attribute
                 that appears in the tree.
@@ -173,32 +335,42 @@ class PartitioningTree:
         Returns:
             An ``int64`` array of leaf indices, one per row.
         """
-        leaves = self.leaves()
-        leaf_index = {id(leaf): index for index, leaf in enumerate(leaves)}
+        compiled = self.compiled()
         if not columns:
             return np.zeros(0, dtype=np.int64)
-        num_rows = len(next(iter(columns.values())))
-        result = np.empty(num_rows, dtype=np.int64)
-
-        def descend(node: TreeNode, row_indices: np.ndarray) -> None:
-            if len(row_indices) == 0 and node.is_leaf:
-                return
-            if node.is_leaf:
-                result[row_indices] = leaf_index[id(node)]
-                return
-            assert node.attribute is not None and node.cutpoint is not None
-            if node.attribute not in columns:
+        for attribute in compiled.attributes:
+            if attribute not in columns:
                 raise PartitioningError(
-                    f"cannot route rows: column {node.attribute!r} missing from data"
+                    f"cannot route rows: column {attribute!r} missing from data"
                 )
-            values = columns[node.attribute][row_indices]
-            goes_left = values <= node.cutpoint
-            assert node.left is not None and node.right is not None
-            descend(node.left, row_indices[goes_left])
-            descend(node.right, row_indices[~goes_left])
+        num_rows = len(next(iter(columns.values())))
+        node_attr, cutpoints = compiled.node_attr, compiled.cutpoints
+        left, right = compiled.left, compiled.right
+        if not compiled.attributes:  # single-leaf tree
+            return np.zeros(num_rows, dtype=np.int64)
 
-        descend(self.root, np.arange(num_rows, dtype=np.int64))
-        return result
+        # One float64 row per attribute: comparing against a float cutpoint
+        # promotes integer columns to float64 anyway, so this is exact.
+        values = np.empty((len(compiled.attributes), num_rows), dtype=np.float64)
+        for attr_index, attribute in enumerate(compiled.attributes):
+            values[attr_index] = columns[attribute]
+
+        rows = np.arange(num_rows, dtype=np.int64)
+        nodes = np.zeros(num_rows, dtype=np.int64)
+        final_nodes = np.empty(num_rows, dtype=np.int64)
+        while rows.size:
+            attrs = node_attr[nodes]
+            at_leaf = attrs < 0
+            if at_leaf.any():
+                final_nodes[rows[at_leaf]] = nodes[at_leaf]
+                keep = ~at_leaf
+                rows, nodes, attrs = rows[keep], nodes[keep], attrs[keep]
+                if not rows.size:
+                    break
+            goes_left = values[attrs, rows] <= cutpoints[nodes]
+            nodes = np.where(goes_left, left[nodes], right[nodes])
+
+        return compiled.leaf_pos[final_nodes].astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Lookup (block pruning)
@@ -207,32 +379,70 @@ class PartitioningTree:
         """Return the block ids of leaves that may contain matching rows.
 
         This is the ``lookup(T, q)`` function from the paper's cost model.
-        Leaves that are not bound to a block id are skipped.
+        Leaves that are not bound to a block id are skipped.  The walk is
+        iterative over the compiled arrays: one ``(lo, hi)`` interval per
+        attribute is narrowed before descending and restored afterwards, and
+        only the predicates on the node's own split attribute are re-checked
+        (the rest were already satisfied on the path down).
         """
-        predicates = predicates or []
+        compiled = self.compiled()
+        leaf_nodes = compiled.leaf_nodes
+
+        predicates_by_attr: dict[int, list[Predicate]] = {}
+        for predicate in predicates or ():
+            attr_index = compiled.attribute_index.get(predicate.column)
+            if attr_index is not None:
+                predicates_by_attr.setdefault(attr_index, []).append(predicate)
+        if not predicates_by_attr:
+            if compiled.all_block_ids is None:
+                compiled.all_block_ids = [
+                    leaf.block_id for leaf in leaf_nodes if leaf.block_id is not None
+                ]
+            return list(compiled.all_block_ids)
+
+        node_attr, cutpoints = compiled.node_attr, compiled.cutpoints
+        left, right, leaf_pos = compiled.left, compiled.right, compiled.leaf_pos
+        lo = [-math.inf] * len(compiled.attributes)
+        hi = [math.inf] * len(compiled.attributes)
         matched: list[int] = []
 
-        def descend(node: TreeNode, bounds: dict[str, tuple[float, float]]) -> None:
-            if node.is_leaf:
-                if node.block_id is not None:
-                    matched.append(node.block_id)
-                return
-            assert node.attribute is not None and node.cutpoint is not None
-            assert node.left is not None and node.right is not None
-            attribute, cutpoint = node.attribute, node.cutpoint
+        # Stack entries: (node, attr, lo_value, hi_value).  node >= 0 visits
+        # that node after installing bounds[attr] = (lo_value, hi_value)
+        # (attr < 0: nothing to install); node < 0 restores bounds[attr].
+        stack: list[tuple[int, int, float, float]] = [(0, -1, 0.0, 0.0)]
+        while stack:
+            node, attr, lo_value, hi_value = stack.pop()
+            if node < 0:
+                lo[attr], hi[attr] = lo_value, hi_value
+                continue
+            if attr >= 0:
+                lo[attr], hi[attr] = lo_value, hi_value
+            split_attr = node_attr[node]
+            if split_attr < 0:
+                leaf = leaf_nodes[leaf_pos[node]]
+                if leaf.block_id is not None:
+                    matched.append(leaf.block_id)
+                continue
+            cutpoint = cutpoints[node]
+            current_lo, current_hi = lo[split_attr], hi[split_attr]
+            left_hi = cutpoint if cutpoint < current_hi else current_hi
+            right_lo = cutpoint if cutpoint > current_lo else current_lo
+            attr_predicates = predicates_by_attr.get(split_attr)
+            if attr_predicates is None:
+                visit_left = visit_right = True
+            else:
+                visit_left = all(
+                    p.may_match_range(current_lo, left_hi) for p in attr_predicates
+                )
+                visit_right = all(
+                    p.may_match_range(right_lo, current_hi) for p in attr_predicates
+                )
+            stack.append((-1, split_attr, current_lo, current_hi))
+            if visit_right:
+                stack.append((right[node], split_attr, right_lo, current_hi))
+            if visit_left:
+                stack.append((left[node], split_attr, current_lo, left_hi))
 
-            lo, hi = bounds.get(attribute, (-math.inf, math.inf))
-            left_bounds = dict(bounds)
-            left_bounds[attribute] = (lo, min(hi, cutpoint))
-            right_bounds = dict(bounds)
-            right_bounds[attribute] = (max(lo, cutpoint), hi)
-
-            if _bounds_may_match(left_bounds, predicates):
-                descend(node.left, left_bounds)
-            if _bounds_may_match(right_bounds, predicates):
-                descend(node.right, right_bounds)
-
-        descend(self.root, {})
         return matched
 
     def leaf_bounds(self, attribute: str) -> dict[int, tuple[float, float]]:
@@ -276,14 +486,3 @@ class PartitioningTree:
 
         render(self.root, 0)
         return "\n".join(lines)
-
-
-def _bounds_may_match(bounds: dict[str, tuple[float, float]], predicates: list[Predicate]) -> bool:
-    """Whether any value assignment within ``bounds`` can satisfy all predicates."""
-    for predicate in predicates:
-        bound = bounds.get(predicate.column)
-        if bound is None:
-            continue
-        if not predicate.may_match_range(*bound):
-            return False
-    return True

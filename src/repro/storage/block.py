@@ -5,11 +5,16 @@ the equivalent of a 64 MB HDFS block in the paper.  Blocks store real rows
 (one numpy array per column) so joins can be executed and verified, and they
 carry per-column min/max metadata, which is what the hyper-join overlap
 computation and the partitioning-tree lookup consume.
+
+Storage is *chunked*: appends (the smooth-repartitioning write path) push the
+incoming column arrays onto a chunk list and only update the per-column
+min/max ranges and row/byte counters incrementally — O(appended rows)
+instead of O(block rows).  The chunks are consolidated into contiguous
+arrays lazily, on the first columnar read, mirroring an LSM-style write path
+with deferred compaction.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,47 +28,67 @@ def _estimate_bytes(columns: dict[str, np.ndarray]) -> int:
     return int(sum(array.nbytes for array in columns.values()))
 
 
-@dataclass
+def _chunk_rows(columns: dict[str, np.ndarray], block_id: int) -> int:
+    """Validate that all arrays share one length and return it."""
+    lengths = {len(array) for array in columns.values()}
+    if len(lengths) > 1:
+        raise StorageError(f"block {block_id}: column lengths differ ({lengths})")
+    return lengths.pop() if lengths else 0
+
+
 class Block:
     """A horizontal slice of a table.
 
     Attributes:
         block_id: Globally unique identifier assigned by the DFS.
         table: Name of the table the block belongs to.
-        columns: Column name -> numpy array of values (all equal length).
-        ranges: Column name -> (min, max) over the rows in the block.
-        size_bytes: Approximate size of the block.
+        ranges: Column name -> (min, max) over the rows in the block,
+            maintained incrementally across appends.
+        size_bytes: Approximate size of the block, also incremental.
     """
 
-    block_id: int
-    table: str
-    columns: dict[str, np.ndarray]
-    ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
-    size_bytes: int = 0
+    __slots__ = ("block_id", "table", "ranges", "size_bytes", "_columns", "_chunks", "_num_rows")
 
-    def __post_init__(self) -> None:
-        lengths = {len(array) for array in self.columns.values()}
-        if len(lengths) > 1:
-            raise StorageError(f"block {self.block_id}: column lengths differ ({lengths})")
-        if not self.ranges:
-            self.ranges = compute_ranges(self.columns)
-        if not self.size_bytes:
-            self.size_bytes = _estimate_bytes(self.columns)
+    def __init__(
+        self,
+        block_id: int,
+        table: str,
+        columns: dict[str, np.ndarray],
+        ranges: dict[str, tuple[float, float]] | None = None,
+        size_bytes: int = 0,
+    ) -> None:
+        self.block_id = block_id
+        self.table = table
+        self._columns = dict(columns)
+        self._chunks: list[dict[str, np.ndarray]] = []
+        self._num_rows = _chunk_rows(self._columns, block_id)
+        self.ranges = ranges if ranges else compute_ranges(self._columns)
+        self.size_bytes = size_bytes if size_bytes else _estimate_bytes(self._columns)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
     def num_rows(self) -> int:
-        """Number of rows stored in the block."""
-        if not self.columns:
-            return 0
-        return len(next(iter(self.columns.values())))
+        """Number of rows stored in the block (O(1), tracked incrementally)."""
+        return self._num_rows
+
+    @property
+    def columns(self) -> dict[str, np.ndarray]:
+        """Column name -> contiguous value array (consolidates pending chunks)."""
+        if self._chunks:
+            self.consolidate()
+        return self._columns
+
+    @property
+    def num_pending_chunks(self) -> int:
+        """How many appended chunks await consolidation (0 when contiguous)."""
+        return len(self._chunks)
 
     @property
     def column_names(self) -> list[str]:
         """Names of the stored columns."""
-        return list(self.columns)
+        return list(self._columns)
 
     def range_of(self, column: str) -> tuple[float, float]:
         """Return the (min, max) of ``column`` over the block's rows.
@@ -74,6 +99,127 @@ class Block:
         if column not in self.ranges:
             raise StorageError(f"block {self.block_id} has no range metadata for column {column!r}")
         return self.ranges[column]
+
+    # ------------------------------------------------------------------ #
+    # Mutation (append path)
+    # ------------------------------------------------------------------ #
+    def append_rows(
+        self,
+        rows: dict[str, np.ndarray],
+        chunk_ranges: dict[str, tuple[float, float]] | None = None,
+    ) -> int:
+        """Append ``rows`` as a chunk, updating metadata incrementally.
+
+        Ranges merge via min/max against the incoming chunk only, the row and
+        byte counters accumulate, and no data is copied until the next
+        columnar read.
+
+        Args:
+            rows: Column name -> value array (all equal length).
+            chunk_ranges: Optional precomputed per-column (min, max) of the
+                chunk — the block-migration path derives them for every
+                target leaf with one ``reduceat`` per column, which is much
+                cheaper than one reduction per leaf here.
+
+        Returns:
+            The number of rows appended.
+        """
+        if chunk_ranges is None:
+            added = _chunk_rows(rows, self.block_id)
+            if added == 0:
+                return 0
+            # Validate against the *effective* column set — the consolidated
+            # dict when present (even with zero rows, it is the schema), the
+            # first chunk for an initially column-less block — so validation
+            # always agrees with what consolidate() will produce.
+            stored = self._columns if self._columns else (
+                self._chunks[0] if self._chunks else None
+            )
+            if stored is not None and rows.keys() != stored.keys():
+                raise StorageError(
+                    f"block {self.block_id}: appended columns {sorted(rows)} do not match "
+                    f"stored columns {sorted(stored)}"
+                )
+            rows = dict(rows)
+        else:
+            # Trusted internal path (block migration): the caller built the
+            # chunk from equal-length slices and owns the dict.
+            added = len(next(iter(rows.values()))) if rows else 0
+            if added == 0:
+                return 0
+        self._chunks.append(rows)
+        self._num_rows += added
+        self.size_bytes += _estimate_bytes(rows)
+        ranges = self.ranges
+        for name, array in rows.items():
+            if chunk_ranges is not None:
+                lo, hi = chunk_ranges[name]
+            else:
+                lo, hi = float(array.min()), float(array.max())
+            existing = ranges.get(name)
+            if existing is not None:
+                lo, hi = min(existing[0], lo), max(existing[1], hi)
+            ranges[name] = (lo, hi)
+        return added
+
+    def replace_columns(self, columns: dict[str, np.ndarray]) -> None:
+        """Replace the block's contents and recompute ranges and size exactly.
+
+        This is the only wholesale-rewrite entry point: contents, ranges and
+        ``size_bytes`` always change together, so stale range metadata can
+        never silently prune a block with live rows.
+        """
+        self._columns = dict(columns)
+        self._chunks = []
+        self._num_rows = _chunk_rows(self._columns, self.block_id)
+        self.ranges = compute_ranges(self._columns)
+        self.size_bytes = _estimate_bytes(self._columns)
+
+    def clear(self, empty_columns: dict[str, np.ndarray]) -> None:
+        """Empty the block in place (its rows have been migrated elsewhere)."""
+        self._columns = dict(empty_columns)
+        self._chunks = []
+        self._num_rows = 0
+        self.ranges = {}
+        self.size_bytes = 0
+
+    def consolidate(self) -> None:
+        """Merge pending chunks into contiguous per-column arrays.
+
+        Row order is preserved: the original contents first, then every chunk
+        in append order.  ``size_bytes`` is re-derived from the consolidated
+        arrays so dtype promotions cannot leave it stale.
+        """
+        if not self._chunks:
+            return
+        chunks, self._chunks = self._chunks, []
+        if self._columns and len(next(iter(self._columns.values()))):
+            names = list(self._columns)
+            parts: list[dict[str, np.ndarray]] = [self._columns, *chunks]
+        else:
+            names = list(chunks[0])
+            parts = chunks
+        self._columns = {
+            name: np.concatenate([part[name] for part in parts]) for name in names
+        }
+        self.size_bytes = _estimate_bytes(self._columns)
+
+    def column_parts(self) -> list[dict[str, np.ndarray]]:
+        """The block's raw storage parts, in row order, without consolidating.
+
+        Returns the consolidated prefix (if it holds rows) followed by every
+        pending chunk in append order.  Batch readers that concatenate
+        across blocks anyway (``gather_columns``, block migration) stream
+        these directly instead of forcing a per-block consolidation copy.
+        Empty blocks yield no parts.  Treat the dicts as read-only.
+        """
+        if self._num_rows == 0:
+            return []
+        parts: list[dict[str, np.ndarray]] = []
+        if self._columns and len(next(iter(self._columns.values()))):
+            parts.append(self._columns)
+        parts.extend(self._chunks)
+        return parts
 
     # ------------------------------------------------------------------ #
     # Row access
@@ -97,6 +243,12 @@ class Block:
             return self.columns[name]
         except KeyError:
             raise StorageError(f"block {self.block_id} has no column {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Block(block_id={self.block_id}, table={self.table!r}, "
+            f"num_rows={self._num_rows}, pending_chunks={len(self._chunks)})"
+        )
 
 
 def compute_ranges(columns: dict[str, np.ndarray]) -> dict[str, tuple[float, float]]:

@@ -8,6 +8,7 @@ reads flow so that locality and I/O statistics can be accounted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -54,6 +55,7 @@ class DistributedFileSystem:
     rng: np.random.Generator = field(default_factory=make_rng)
     _blocks: dict[int, Block] = field(default_factory=dict)
     _placement: dict[int, list[int]] = field(default_factory=dict)
+    _table_blocks: dict[str, set[int]] = field(default_factory=dict, repr=False)
     _next_block_id: int = 0
     read_stats: ReadStats = field(default_factory=ReadStats)
 
@@ -80,6 +82,7 @@ class DistributedFileSystem:
         )
         self._blocks[block.block_id] = block
         self._placement[block.block_id] = [int(m) for m in machine_ids]
+        self._table_blocks.setdefault(block.table, set()).add(block.block_id)
         for machine_id in machine_ids:
             self.cluster.machine(int(machine_id)).stored_blocks.add(block.block_id)
         return block.block_id
@@ -96,6 +99,7 @@ class DistributedFileSystem:
             raise StorageError(f"cannot delete unknown block {block_id}")
         for machine_id in self._placement.pop(block_id):
             self.cluster.machine(machine_id).stored_blocks.discard(block_id)
+        self._table_blocks[self._blocks[block_id].table].discard(block_id)
         del self._blocks[block_id]
 
     # ------------------------------------------------------------------ #
@@ -121,7 +125,7 @@ class DistributedFileSystem:
         return block
 
     def get_blocks(
-        self, block_ids: list[int], reader_machine: int | None = None
+        self, block_ids: Sequence[int], reader_machine: int | None = None
     ) -> list[Block]:
         """Read a batch of blocks in one call, accounting locality per block.
 
@@ -168,13 +172,14 @@ class DistributedFileSystem:
         return len(self._blocks)
 
     def blocks_of_table(self, table: str) -> list[int]:
-        """Ids of all blocks belonging to ``table`` (sorted)."""
-        return sorted(block_id for block_id, block in self._blocks.items() if block.table == table)
+        """Ids of all blocks belonging to ``table`` (sorted, index-served)."""
+        return sorted(self._table_blocks.get(table, ()))
 
     def total_bytes(self, table: str | None = None) -> int:
         """Total stored bytes, optionally restricted to one table."""
-        return sum(
-            block.size_bytes
-            for block in self._blocks.values()
-            if table is None or block.table == table
-        )
+        if table is not None:
+            return sum(
+                self._blocks[block_id].size_bytes
+                for block_id in self._table_blocks.get(table, ())
+            )
+        return sum(block.size_bytes for block in self._blocks.values())

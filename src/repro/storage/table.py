@@ -7,6 +7,14 @@ form: its rows live in DFS blocks, and each block belongs to exactly one
 several trees (one per popular join attribute) and blocks migrate between
 them; the table tracks which blocks belong to which tree and exposes the
 ``lookup`` used by the optimizer's cost model.
+
+Storage statistics are *incremental*: the table keeps per-block row counts,
+per-tree row totals and per-tree non-empty block sets, updated on every
+mutation (create / append / clear / delete / move / re-split), so
+``total_rows``, ``rows_under_tree``, ``non_empty_block_ids`` and
+``tree_row_fractions`` are O(1)/O(result) cache reads instead of O(blocks)
+scans over ``dfs.peek_block`` — smooth repartitioning consults them several
+times per query.
 """
 
 from __future__ import annotations
@@ -88,6 +96,13 @@ class StoredTable:
     rows_per_block: int = 4096
     _block_to_tree: dict[int, int] = field(default_factory=dict)
     _next_tree_id: int = 0
+    # Incremental statistics caches (see module docstring).
+    _block_rows: dict[int, int] = field(default_factory=dict, repr=False)
+    _tree_rows: dict[int, int] = field(default_factory=dict, repr=False)
+    _tree_blocks: dict[int, list[int]] = field(default_factory=dict, repr=False)
+    _non_empty: dict[int, set[int]] = field(default_factory=dict, repr=False)
+    _total_rows: int = field(default=0, repr=False)
+    _empty_template: dict[str, np.ndarray] | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -122,6 +137,9 @@ class StoredTable:
         tree_id = self._next_tree_id
         self._next_tree_id += 1
         tree.tree_id = tree_id
+        self._tree_blocks[tree_id] = []
+        self._tree_rows[tree_id] = 0
+        self._non_empty[tree_id] = set()
 
         leaf_indices = tree.route_rows(columns) if columns else np.zeros(0, dtype=np.int64)
         num_leaves = tree.num_leaves
@@ -133,17 +151,101 @@ class StoredTable:
             } if columns else self._empty_columns()
             block = self.dfs.create_block(self.name, leaf_columns)
             block_ids.append(block.block_id)
-            self._block_to_tree[block.block_id] = tree_id
+            self._register_block(block.block_id, tree_id, block.num_rows)
         tree.assign_block_ids(block_ids)
         self.trees[tree_id] = tree
         return tree_id
 
     def _empty_columns(self) -> dict[str, np.ndarray]:
-        """Zero-row column arrays matching the schema."""
-        return {
-            column.name: np.empty(0, dtype=column.dtype.numpy_dtype)
-            for column in self.schema.columns
-        }
+        """Zero-row column arrays matching the schema.
+
+        The arrays are shared from a per-table template — zero-length arrays
+        are never mutated in place (appends go to chunks, rewrites replace
+        the dict), so block clears don't need fresh allocations.
+        """
+        if self._empty_template is None:
+            self._empty_template = {
+                column.name: np.empty(0, dtype=column.dtype.numpy_dtype)
+                for column in self.schema.columns
+            }
+        return dict(self._empty_template)
+
+    # ------------------------------------------------------------------ #
+    # Statistics cache maintenance
+    # ------------------------------------------------------------------ #
+    def _register_block(self, block_id: int, tree_id: int, num_rows: int) -> None:
+        """Record a freshly created block in the statistics caches."""
+        self._block_to_tree[block_id] = tree_id
+        self._block_rows[block_id] = num_rows
+        self._tree_blocks[tree_id].append(block_id)
+        self._tree_rows[tree_id] += num_rows
+        self._total_rows += num_rows
+        if num_rows:
+            self._non_empty[tree_id].add(block_id)
+
+    def _set_block_rows(self, block_id: int, num_rows: int) -> None:
+        """Propagate a block's new row count through the caches."""
+        previous = self._block_rows[block_id]
+        if num_rows == previous:
+            return
+        tree_id = self._block_to_tree[block_id]
+        delta = num_rows - previous
+        self._block_rows[block_id] = num_rows
+        self._tree_rows[tree_id] += delta
+        self._total_rows += delta
+        if num_rows:
+            self._non_empty[tree_id].add(block_id)
+        else:
+            self._non_empty[tree_id].discard(block_id)
+
+    def _forget_tree(self, tree_id: int) -> None:
+        """Drop a tree's cache entries, including its blocks' per-block stats.
+
+        Blocks are only ever deleted together with their tree, so per-block
+        eviction is handled here rather than by a standalone helper.
+        """
+        for block_id in self._tree_blocks.pop(tree_id):
+            del self._block_to_tree[block_id]
+            self._total_rows -= self._block_rows.pop(block_id)
+        del self._tree_rows[tree_id]
+        del self._non_empty[tree_id]
+
+    def audit_cached_statistics(self) -> None:
+        """Verify every cached statistic against a brute-force DFS scan.
+
+        Raises:
+            StorageError: if any cached counter disagrees with the blocks.
+
+        Intended for tests and debugging; production paths never call it.
+        """
+        for block_id in self._block_to_tree:
+            actual = self.dfs.peek_block(block_id).num_rows
+            if self._block_rows.get(block_id) != actual:
+                raise StorageError(
+                    f"cached rows for block {block_id} = {self._block_rows.get(block_id)}, "
+                    f"actual {actual}"
+                )
+        for tree_id in self.trees:
+            actual_tree = sum(
+                self.dfs.peek_block(b).num_rows for b in self.block_ids(tree_id)
+            )
+            if self._tree_rows.get(tree_id) != actual_tree:
+                raise StorageError(
+                    f"cached rows for tree {tree_id} = {self._tree_rows.get(tree_id)}, "
+                    f"actual {actual_tree}"
+                )
+            actual_non_empty = {
+                b for b in self.block_ids(tree_id) if self.dfs.peek_block(b).num_rows > 0
+            }
+            if self._non_empty.get(tree_id) != actual_non_empty:
+                raise StorageError(f"cached non-empty set for tree {tree_id} is stale")
+        actual_total = sum(
+            self.dfs.peek_block(b).num_rows for b in self._block_to_tree
+        )
+        if self._total_rows != actual_total:
+            raise StorageError(
+                f"cached total rows {self._total_rows}, actual {actual_total}"
+            )
 
     # ------------------------------------------------------------------ #
     # Tree management
@@ -192,19 +294,15 @@ class StoredTable:
         """All block ids of the table, optionally restricted to one tree."""
         if tree_id is None:
             return sorted(self._block_to_tree)
-        return [
-            block_id
-            for block_id, owner in sorted(self._block_to_tree.items())
-            if owner == tree_id
-        ]
+        return list(self._tree_blocks.get(tree_id, ()))
 
     def non_empty_block_ids(self, tree_id: int | None = None) -> list[int]:
-        """Block ids that currently contain at least one row."""
-        return [
-            block_id
-            for block_id in self.block_ids(tree_id)
-            if self.dfs.peek_block(block_id).num_rows > 0
-        ]
+        """Block ids that currently contain at least one row (cache-served)."""
+        if tree_id is None:
+            return sorted(
+                block_id for blocks in self._non_empty.values() for block_id in blocks
+            )
+        return sorted(self._non_empty.get(tree_id, ()))
 
     def lookup(
         self,
@@ -224,29 +322,24 @@ class StoredTable:
             matched.extend(self.tree(tid).lookup(predicates))
         if include_empty:
             return matched
-        return [
-            block_id
-            for block_id in matched
-            if self.dfs.peek_block(block_id).num_rows > 0
-        ]
+        block_rows = self._block_rows
+        return [block_id for block_id in matched if block_rows.get(block_id, 0) > 0]
 
     def rows_under_tree(self, tree_id: int) -> int:
-        """Total number of rows stored under a tree."""
-        return sum(
-            self.dfs.peek_block(block_id).num_rows for block_id in self.block_ids(tree_id)
-        )
+        """Total number of rows stored under a tree (cache-served)."""
+        return self._tree_rows.get(tree_id, 0)
 
     @property
     def total_rows(self) -> int:
-        """Total number of rows stored across all trees."""
-        return sum(self.rows_under_tree(tree_id) for tree_id in self.trees)
+        """Total number of rows stored across all trees (cache-served)."""
+        return self._total_rows
 
     def tree_row_fractions(self) -> dict[int, float]:
         """Fraction of the table's rows held by each tree."""
-        total = self.total_rows
+        total = self._total_rows
         if total == 0:
             return {tree_id: 0.0 for tree_id in self.trees}
-        return {tree_id: self.rows_under_tree(tree_id) / total for tree_id in self.trees}
+        return {tree_id: self._tree_rows[tree_id] / total for tree_id in self.trees}
 
     # ------------------------------------------------------------------ #
     # Block migration (smooth repartitioning / full repartitioning)
@@ -265,42 +358,113 @@ class StoredTable:
         target_tree = self.tree(target_tree_id)
         target_block_ids = target_tree.block_ids()
         stats = RepartitionStats()
-        touched_targets: set[int] = set()
 
+        sources: list[tuple[int, Block]] = []
         for block_id in block_ids:
             if self.tree_of_block(block_id) == target_tree_id:
                 continue
             source = self.dfs.peek_block(block_id)
             if source.num_rows == 0:
                 continue
-            leaf_indices = target_tree.route_rows(source.columns)
-            stats.source_blocks += 1
-            stats.rows_moved += source.num_rows
-            for leaf_position in np.unique(leaf_indices):
-                row_mask = leaf_indices == leaf_position
-                rows = {name: array[row_mask] for name, array in source.columns.items()}
-                target_id = target_block_ids[int(leaf_position)]
-                self._append_rows(target_id, rows)
-                touched_targets.add(target_id)
+            sources.append((block_id, source))
+        if not sources:
+            return stats
+
+        # Route the union of all source rows once, then group by target leaf
+        # with one stable sort (rows keep source order, and their original
+        # order within each source, inside every leaf) and compute every
+        # leaf's per-column min/max with one reduceat per column.  This costs
+        # O(moved rows) total instead of per-(source, leaf) python work.
+        # Source blocks are streamed part-by-part (consolidated prefix plus
+        # pending chunks) — they are about to be cleared, so consolidating
+        # them first would copy every row twice.
+        parts = [part for _, source in sources for part in source.column_parts()]
+        names = list(parts[0])
+        union_columns = {
+            name: (
+                np.concatenate([part[name] for part in parts])
+                if len(parts) > 1
+                else parts[0][name]
+            )
+            for name in names
+        }
+        leaf_indices = target_tree.route_rows(union_columns)
+        stats.source_blocks = len(sources)
+        stats.rows_moved = len(leaf_indices)
+
+        order = np.argsort(leaf_indices, kind="stable")
+        unique_leaves, starts = np.unique(leaf_indices[order], return_index=True)
+        boundaries = np.append(starts, len(order))
+        sorted_columns = {name: array[order] for name, array in union_columns.items()}
+        leaf_mins = {
+            name: np.minimum.reduceat(values, starts)
+            for name, values in sorted_columns.items()
+        }
+        leaf_maxs = {
+            name: np.maximum.reduceat(values, starts)
+            for name, values in sorted_columns.items()
+        }
+        for position, leaf_position in enumerate(unique_leaves):
+            segment = slice(boundaries[position], boundaries[position + 1])
+            rows = {name: values[segment] for name, values in sorted_columns.items()}
+            chunk_ranges = {
+                name: (float(leaf_mins[name][position]), float(leaf_maxs[name][position]))
+                for name in sorted_columns
+            }
+            self._append_rows(target_block_ids[int(leaf_position)], rows, chunk_ranges)
+        for block_id, _ in sources:
             self._clear_block(block_id)
 
-        stats.target_blocks_touched = len(touched_targets)
+        stats.target_blocks_touched = len(unique_leaves)
         return stats
 
-    def _append_rows(self, block_id: int, rows: dict[str, np.ndarray]) -> None:
-        """Append ``rows`` to an existing block and refresh its metadata."""
+    def _append_rows(
+        self,
+        block_id: int,
+        rows: dict[str, np.ndarray],
+        chunk_ranges: dict[str, tuple[float, float]] | None = None,
+    ) -> None:
+        """Append ``rows`` to an existing block and update the cached stats."""
         block = self.dfs.peek_block(block_id)
-        merged = concatenate_columns([block.columns, rows]) if block.num_rows else dict(rows)
-        block.columns = merged
-        block.ranges = compute_ranges(merged)
-        block.size_bytes = int(sum(array.nbytes for array in merged.values()))
+        block.append_rows(rows, chunk_ranges)
+        self._set_block_rows(block_id, block.num_rows)
 
     def _clear_block(self, block_id: int) -> None:
         """Empty a block in place (its rows have been migrated elsewhere)."""
         block = self.dfs.peek_block(block_id)
-        block.columns = self._empty_columns()
-        block.ranges = {}
-        block.size_bytes = 0
+        block.clear(self._empty_columns())
+        self._set_block_rows(block_id, 0)
+
+    def resplit_leaf_pair(
+        self, left_id: int, right_id: int, attribute: str, cutpoint: float
+    ) -> int:
+        """Redistribute two sibling leaf blocks' rows across a new cutpoint.
+
+        This is the storage half of an Amoeba transform (the tree half is
+        :meth:`PartitioningTree.resplit_node`): the two blocks' rows are
+        merged and re-split on ``attribute <= cutpoint``, block metadata is
+        recomputed, and the cached statistics are updated.  If the blocks do
+        not store ``attribute`` (or hold no rows) nothing is rewritten.
+
+        Returns:
+            The number of rows redistributed.
+        """
+        left_block = self.dfs.peek_block(left_id)
+        right_block = self.dfs.peek_block(right_id)
+        merged = {
+            name: np.concatenate([left_block.columns[name], right_block.columns[name]])
+            for name in left_block.columns
+        }
+        rows_moved = len(next(iter(merged.values()))) if merged else 0
+        values = merged.get(attribute)
+        if values is None or rows_moved == 0:
+            return 0
+        goes_left = values <= cutpoint
+        left_block.replace_columns({name: array[goes_left] for name, array in merged.items()})
+        right_block.replace_columns({name: array[~goes_left] for name, array in merged.items()})
+        self._set_block_rows(left_id, left_block.num_rows)
+        self._set_block_rows(right_id, right_block.num_rows)
+        return rows_moved
 
     def drop_empty_trees(self) -> list[int]:
         """Remove trees that no longer hold any rows (keeping at least one tree).
@@ -309,7 +473,7 @@ class StoredTable:
             The ids of the removed trees.
         """
         removable = [
-            tree_id for tree_id in self.trees if self.rows_under_tree(tree_id) == 0
+            tree_id for tree_id in self.trees if self._tree_rows.get(tree_id, 0) == 0
         ]
         if len(removable) == len(self.trees):
             removable = removable[:-1]
@@ -317,7 +481,7 @@ class StoredTable:
         for tree_id in removable:
             for block_id in self.block_ids(tree_id):
                 self.dfs.delete_block(block_id)
-                del self._block_to_tree[block_id]
+            self._forget_tree(tree_id)
             del self.trees[tree_id]
             removed.append(tree_id)
         return removed
@@ -342,8 +506,8 @@ class StoredTable:
 
         for block_id in old_block_ids:
             self.dfs.delete_block(block_id)
-            del self._block_to_tree[block_id]
         for tree_id in old_tree_ids:
+            self._forget_tree(tree_id)
             del self.trees[tree_id]
 
         self._materialize_tree(tree, all_columns)

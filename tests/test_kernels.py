@@ -7,10 +7,12 @@ import pytest
 
 from repro.join.kernels import (
     KeyHistogram,
+    gather_columns,
     hash_partition,
     join_match_count,
     join_match_count_arrays,
 )
+from repro.storage.block import Block
 
 
 class TestKeyHistogram:
@@ -98,3 +100,28 @@ class TestHashPartition:
         keys = rng.integers(0, 1_000_000, size=10_000)
         counts = np.bincount(hash_partition(keys, 10), minlength=10)
         assert counts.min() > 0.5 * counts.mean()
+
+
+class TestGatherColumns:
+    def test_concatenates_across_blocks(self):
+        blocks = [
+            Block(0, "t", {"k": np.array([1, 2], dtype=np.int64)}),
+            Block(1, "t", {"k": np.array([3], dtype=np.int64)}),
+        ]
+        assert gather_columns(blocks, ["k"])["k"].tolist() == [1, 2, 3]
+
+    def test_empty_batch_preserves_source_dtype(self):
+        """A float column must stay float even when no block holds rows."""
+        empty = Block(0, "t", {"v": np.empty(0, dtype=np.float64)})
+        gathered = gather_columns([empty], ["v"])
+        assert gathered["v"].dtype == np.float64
+        assert len(gathered["v"]) == 0
+
+    def test_no_blocks_at_all_defaults_to_int64(self):
+        gathered = gather_columns([], ["k"])
+        assert gathered["k"].dtype == np.int64 and len(gathered["k"]) == 0
+
+    def test_streams_pending_chunks_in_row_order(self):
+        block = Block(0, "t", {"k": np.array([1, 2], dtype=np.int64)})
+        block.append_rows({"k": np.array([3, 4], dtype=np.int64)})
+        assert gather_columns([block], ["k"])["k"].tolist() == [1, 2, 3, 4]

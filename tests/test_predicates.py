@@ -135,6 +135,12 @@ class TestRowsMatching:
     def test_empty_columns(self):
         assert rows_matching({}, []).size == 0
 
+    def test_empty_columns_with_predicates_fail_loudly(self):
+        """A miswired caller that lost its projection must not get an
+        all-empty mask back silently."""
+        with pytest.raises(PlanningError):
+            rows_matching({}, [eq("a", 1)])
+
 
 class TestBlockMayMatch:
     def test_all_predicates_must_be_satisfiable(self):

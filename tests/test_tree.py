@@ -129,6 +129,65 @@ class TestLookup:
             assert block_ids[leaves[index]] in tree.lookup(point_predicates)
 
 
+class TestCompiledForm:
+    def test_compiled_reused_across_calls(self):
+        tree = two_level_tree()
+        compiled = tree.compiled()
+        tree.lookup([le("a", 10)])
+        tree.route_rows({"a": np.array([1.0]), "b": np.array([1.0])})
+        assert tree.compiled() is compiled
+
+    def test_resplit_node_patches_compiled_in_place(self):
+        tree = two_level_tree()
+        compiled = tree.compiled()
+        node = tree.root.left  # splits on b at 10
+        tree.resplit_node(node, "c", 7.0)
+        # Same cache object, updated arrays: routing/lookup see the new split.
+        assert tree.compiled() is compiled
+        assert tree.lookup([le("c", 5)]) == [0, 2, 3]
+        assert tree.lookup([gt("c", 8)]) == [1, 2, 3]
+        columns = {
+            "a": np.array([0.0, 0.0]),
+            "b": np.array([0.0, 0.0]),
+            "c": np.array([5.0, 9.0]),
+        }
+        assert tree.route_rows(columns).tolist() == [0, 1]
+
+    def test_resplit_leaf_raises(self):
+        tree = two_level_tree()
+        with pytest.raises(PartitioningError):
+            tree.resplit_node(tree.leaves()[0], "a", 1.0)
+
+    def test_invalidate_compiled_rebuilds(self):
+        tree = two_level_tree()
+        compiled = tree.compiled()
+        tree.invalidate_compiled()
+        assert tree.compiled() is not compiled
+        assert tree.block_ids() == [0, 1, 2, 3]
+
+    def test_bottom_internal_nodes_cached_with_bounds(self):
+        tree = two_level_tree()
+        bottom = tree.bottom_internal_nodes()
+        assert tree.bottom_internal_nodes() is bottom
+        assert len(bottom) == 2
+        (left_node, left_bounds), (right_node, right_bounds) = bottom
+        assert left_node.attribute == "b" and left_bounds == {"a": (-np.inf, 50.0)}
+        assert right_node.attribute == "b" and right_bounds == {"a": (50.0, np.inf)}
+
+    def test_lookup_matches_route_after_resplit(self, rng):
+        tree = two_level_tree()
+        tree.resplit_node(tree.root.right, "a", 75.0)
+        columns = {"a": rng.uniform(0, 100, size=80), "b": rng.uniform(0, 30, size=80)}
+        leaves = tree.route_rows(columns)
+        block_ids = tree.block_ids()
+        for index in range(80):
+            predicates = [
+                eq("a", float(columns["a"][index])),
+                eq("b", float(columns["b"][index])),
+            ]
+            assert block_ids[leaves[index]] in tree.lookup(predicates)
+
+
 class TestLeafBounds:
     def test_bounds_on_root_attribute(self):
         bounds = two_level_tree().leaf_bounds("a")
