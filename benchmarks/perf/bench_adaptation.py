@@ -8,7 +8,12 @@ Times the hot paths this repo's incremental-statistics work targets:
 * **lookup** — repeated partitioning-tree lookups through ``StoredTable``,
 * **route** — repeated ``PartitioningTree.route_rows`` calls,
 * **append** — repeated block-append cycles (``move_blocks`` back and forth
-  between two trees), the smooth-repartitioning write path.
+  between two trees), the smooth-repartitioning write path,
+* **plan cache** — a repeated-template planning benchmark: the same converged
+  workload is run once with the session plan cache enabled and once with it
+  disabled, recording cold vs. cached planning time, the cache hit rate, and
+  whether every per-query result fingerprint is bit-identical between the
+  two runs (it must be — the cache may only change planning time).
 
 Besides wall-clock numbers the end-to-end run records a *decision
 fingerprint* — per-query ``output_rows``, blocks read, blocks repartitioned
@@ -37,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import Session
 from repro.baselines.runners import AdaptDBRunner
 from repro.common.predicates import between
 from repro.common.rng import make_rng
@@ -44,7 +50,7 @@ from repro.core.config import AdaptDBConfig
 from repro.partitioning.two_phase import TwoPhasePartitioner
 from repro.workloads.generators import switching_workload
 from repro.workloads.tpch import TPCHGenerator
-from repro.workloads.tpch_queries import EVALUATED_TEMPLATES, tables_for_templates
+from repro.workloads.tpch_queries import EVALUATED_TEMPLATES, tables_for_templates, tpch_query
 
 DEFAULT_OUT = Path(__file__).resolve().parents[2] / "BENCH_adaptation.json"
 
@@ -89,6 +95,82 @@ def run_adaptation_workload(
         "rows_per_block": rows_per_block,
         "fingerprint": fingerprint,
         "per_query": per_query,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Plan-cache benchmark (repeated-template planning)
+# --------------------------------------------------------------------------- #
+
+def run_plan_cache_benchmark(
+    scale: float,
+    rows_per_block: int,
+    warmup_per_template: int,
+    repeats: int,
+    seed: int = 1,
+) -> dict:
+    """Cold vs. cached planning on a fig13-style repeated-template workload.
+
+    The *same* deterministic workload (per-template warmup to convergence,
+    then each template's query repeated ``repeats`` times, everything with
+    adaptation enabled) runs in two sessions that differ only in whether the
+    planning caches are on.  Reported:
+
+    * total planning seconds with the cache disabled (cold) and enabled,
+    * the plan-cache hit rate over the measured repeats,
+    * whether every measured result fingerprint matches between the runs
+      (the cache must never change results or adaptation decisions).
+    """
+    templates = list(EVALUATED_TEMPLATES)
+
+    def build_and_run(plan_cache_size: int):
+        rng = make_rng(seed)
+        tables = (
+            TPCHGenerator(scale=scale, seed=seed)
+            .generate(tables_for_templates(templates))
+            .values()
+        )
+        config = AdaptDBConfig(
+            rows_per_block=rows_per_block, buffer_blocks=8, seed=seed,
+            plan_cache_size=plan_cache_size,
+        )
+        session = Session(config=config)
+        if plan_cache_size == 0:
+            # The cold baseline plans from scratch: no plan cache and no
+            # epoch-keyed hyper-plan memo (decisions are unaffected — both
+            # are pure memoization).
+            session.optimizer.hyper_cache = None
+        for table in tables:
+            session.load_table(table)
+        measured = []
+        for template in templates:
+            # Converge adaptation on this template, then repeat one query:
+            # the steady-state regime where repeated templates replan the
+            # same thing every query.
+            for _ in range(warmup_per_template):
+                session.run(tpch_query(template, rng))
+            query = tpch_query(template, rng)
+            measured.extend(session.run(query) for _ in range(repeats))
+        return session, measured
+
+    cached_session, cached_results = build_and_run(64)
+    _, cold_results = build_and_run(0)
+
+    cold_planning = sum(r.planning_seconds for r in cold_results)
+    cached_planning = sum(r.planning_seconds for r in cached_results)
+    hits = sum(r.plan_cache_hit for r in cached_results)
+    identical = [r.fingerprint() for r in cached_results] == [
+        r.fingerprint() for r in cold_results
+    ]
+    return {
+        "measured_queries": len(cached_results),
+        "repeats_per_template": repeats,
+        "cold_planning_seconds": round(cold_planning, 6),
+        "cached_planning_seconds": round(cached_planning, 6),
+        "planning_speedup": round(cold_planning / max(cached_planning, 1e-9), 2),
+        "hit_rate": round(hits / len(cached_results), 4),
+        "results_identical": identical,
+        "session_cache_stats": cached_session.cache_stats(),
     }
 
 
@@ -190,16 +272,23 @@ def bench_append(num_rows: int, rows_per_block: int, cycles: int) -> dict:
 def run_suite(smoke: bool) -> dict:
     if smoke:
         e2e = run_adaptation_workload(scale=0.02, rows_per_block=64, queries_per_template=2)
+        plan_cache = run_plan_cache_benchmark(
+            scale=0.02, rows_per_block=64, warmup_per_template=6, repeats=3
+        )
         micro_rows, micro_rpb, iters, cycles = 20_000, 128, 50, 2
     else:
         # rows_per_block=64 is the small-block regime where per-query
         # bookkeeping dominates — the regime the incremental-statistics work
         # targets (the acceptance bar is rows_per_block <= 512).
         e2e = run_adaptation_workload(scale=0.1, rows_per_block=64, queries_per_template=6)
+        plan_cache = run_plan_cache_benchmark(
+            scale=0.1, rows_per_block=64, warmup_per_template=12, repeats=5
+        )
         micro_rows, micro_rpb, iters, cycles = 100_000, 128, 200, 6
     return {
         "mode": "smoke" if smoke else "full",
         "end_to_end": e2e,
+        "plan_cache": plan_cache,
         "micro": {
             "lookup": bench_lookup(micro_rows, micro_rpb, iters),
             "route": bench_route(micro_rows, micro_rpb, iters),
@@ -208,14 +297,38 @@ def run_suite(smoke: bool) -> dict:
     }
 
 
+def check_plan_cache(post: dict) -> int:
+    """Gate the plan-cache benchmark: hits must occur, results must match."""
+    plan_cache = post.get("plan_cache")
+    if not plan_cache:
+        return 0
+    print(f"plan cache: planning {plan_cache['cold_planning_seconds']}s cold -> "
+          f"{plan_cache['cached_planning_seconds']}s cached "
+          f"({plan_cache['planning_speedup']}x), "
+          f"hit rate {plan_cache['hit_rate']}, "
+          f"results identical: {plan_cache['results_identical']}")
+    status = 0
+    if plan_cache["hit_rate"] <= 0:
+        print("ERROR: plan cache never hit on the repeated-template workload",
+              file=sys.stderr)
+        status = 1
+    if not plan_cache["results_identical"]:
+        print("ERROR: cached and cold runs produced different result fingerprints",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
 def compare(data: dict) -> int:
     """Report pre/post speedup and fingerprint equality; non-zero on mismatch."""
-    pre, post = data.get("pre"), data.get("post")
+    post = data.get("post")
+    status = check_plan_cache(post) if post else 0
+    pre = data.get("pre")
     if not (pre and post):
-        return 0
+        return status
     if pre["mode"] != post["mode"]:
         print(f"note: pre mode {pre['mode']!r} != post mode {post['mode']!r}; skipping comparison")
-        return 0
+        return status
     speedup = pre["end_to_end"]["seconds"] / max(post["end_to_end"]["seconds"], 1e-9)
     same = pre["end_to_end"]["fingerprint"] == post["end_to_end"]["fingerprint"]
     print(f"end-to-end speedup: {speedup:.2f}x "
@@ -227,7 +340,7 @@ def compare(data: dict) -> int:
     if not same:
         print("ERROR: pre/post decision fingerprints differ", file=sys.stderr)
         return 1
-    return 0
+    return status
 
 
 def main() -> int:

@@ -24,7 +24,19 @@ from .common import (
     join_query,
     scan_query,
 )
+
+# .core must initialize before .api is imported here: AdaptDB (in .core) pulls
+# in the whole .api package mid-initialization, and running .api first would
+# re-enter .core through a half-executed backends module.
 from .core import AdaptDB, AdaptDBConfig, QueryResult
+from .api import (
+    ExecutionBackend,
+    LogicalPlan,
+    PhysicalPlan,
+    SerialBackend,
+    Session,
+    TaskBackend,
+)
 from .storage import ColumnTable
 
 __version__ = "1.0.0"
@@ -33,12 +45,18 @@ __all__ = [
     "AdaptDB",
     "AdaptDBConfig",
     "ColumnTable",
+    "ExecutionBackend",
     "JoinClause",
+    "LogicalPlan",
+    "PhysicalPlan",
     "Predicate",
     "Query",
     "QueryResult",
     "ReproError",
     "Schema",
+    "SerialBackend",
+    "Session",
+    "TaskBackend",
     "__version__",
     "join_query",
     "scan_query",

@@ -1,0 +1,30 @@
+"""The staged query-lifecycle API.
+
+This package is the library's public planning/execution surface::
+
+    Session  -- owns cluster, DFS, catalog; entry point for load/plan/run
+    LogicalPlan / PhysicalPlan -- the two explicit plan stages, both with
+        stable ``explain()`` text
+    ExecutionBackend -- protocol; SerialBackend and TaskBackend implement it
+    PlanCache / query_signature -- the epoch-keyed plan cache
+
+Everything else (``repro.core.AdaptDB``) is a compatibility shim over a
+:class:`Session`.  Construct optimizers/executors only through this package.
+"""
+
+from .backends import ExecutionBackend, SerialBackend, TaskBackend
+from .cache import CachedPlan, PlanCache, query_signature
+from .plans import LogicalPlan, PhysicalPlan
+from .session import Session
+
+__all__ = [
+    "CachedPlan",
+    "ExecutionBackend",
+    "LogicalPlan",
+    "PhysicalPlan",
+    "PlanCache",
+    "SerialBackend",
+    "Session",
+    "TaskBackend",
+    "query_signature",
+]

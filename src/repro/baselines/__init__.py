@@ -7,9 +7,10 @@ from .runners import (
     AdaptDBRunner,
     AdaptDBShuffleOnlyRunner,
     AmoebaBaseline,
+    ConfiguredRunner,
     FullScanBaseline,
     WorkloadRunner,
-    build_adaptdb,
+    build_session,
 )
 
 __all__ = [
@@ -17,10 +18,11 @@ __all__ = [
     "AdaptDBShuffleOnlyRunner",
     "AmoebaBaseline",
     "BestGuessFixedBaseline",
+    "ConfiguredRunner",
     "FullRepartitioningBaseline",
     "FullScanBaseline",
     "PREFBaseline",
     "TPCH_REFERENCE_KEYS",
     "WorkloadRunner",
-    "build_adaptdb",
+    "build_session",
 ]

@@ -14,8 +14,8 @@ import math
 from dataclasses import dataclass, field, replace
 from collections import Counter
 
+from ..api.session import Session
 from ..common.query import Query
-from ..core.adaptdb import AdaptDB
 from ..core.config import AdaptDBConfig
 from ..core.executor import QueryResult
 from ..partitioning.two_phase import TwoPhasePartitioner
@@ -38,17 +38,24 @@ class BestGuessFixedBaseline:
     workload: list[Query]
     config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     name: str = '"Best Guess" Fixed Partitioning'
-    db: AdaptDB = field(init=False)
+    session: Session = field(init=False)
 
     def __post_init__(self) -> None:
-        self.db = AdaptDB(replace(self.config, enable_smooth=False, enable_amoeba=False))
+        self.session = Session(
+            config=replace(self.config, enable_smooth=False, enable_amoeba=False)
+        )
         for table in self.tables:
             tree = self._hand_tuned_tree(table)
-            self.db.load_table(table, tree=tree)
+            self.session.load_table(table, tree=tree)
+
+    @property
+    def db(self) -> Session:
+        """The underlying engine (kept under the pre-session attribute name)."""
+        return self.session
 
     def run_workload(self, queries: list[Query]) -> list[QueryResult]:
         """Run the workload on the fixed, hand-tuned layout."""
-        return [self.db.run(query, adapt=False) for query in queries]
+        return self.session.run_workload(queries, adapt=False)
 
     # ------------------------------------------------------------------ #
     # Layout construction

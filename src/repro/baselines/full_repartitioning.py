@@ -14,13 +14,13 @@ import math
 from dataclasses import dataclass, field, replace
 
 from ..adaptive.window import QueryWindow
+from ..api.session import Session
 from ..common.query import Query
-from ..core.adaptdb import AdaptDB
 from ..core.config import AdaptDBConfig
 from ..core.executor import QueryResult
 from ..partitioning.two_phase import TwoPhasePartitioner
 from ..storage.table import ColumnTable
-from .runners import build_adaptdb
+from .runners import build_session
 
 
 @dataclass
@@ -38,17 +38,22 @@ class FullRepartitioningBaseline:
     config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     trigger_fraction: float = 0.5
     name: str = "Repartitioning"
-    db: AdaptDB = field(init=False)
+    session: Session = field(init=False)
     window: QueryWindow = field(init=False)
 
     def __post_init__(self) -> None:
         # Incremental adaptation is disabled: this runner does its own, abrupt
         # repartitioning and otherwise uses cost-based join selection.
-        self.db = build_adaptdb(
+        self.session = build_session(
             self.tables,
             replace(self.config, enable_smooth=False, enable_amoeba=False),
         )
         self.window = QueryWindow(size=self.config.window_size)
+
+    @property
+    def db(self) -> Session:
+        """The underlying engine (kept under the pre-session attribute name)."""
+        return self.session
 
     def run_workload(self, queries: list[Query]) -> list[QueryResult]:
         """Run the workload, fully repartitioning tables when triggered."""
@@ -60,9 +65,9 @@ class FullRepartitioningBaseline:
     def _run_query(self, query: Query) -> QueryResult:
         self.window.add(query)
         repartitioned_blocks = self._maybe_repartition(query)
-        result = self.db.run(query, adapt=False)
+        result = self.session.run(query, adapt=False)
         if repartitioned_blocks:
-            cost_model = self.db.cluster.cost_model
+            cost_model = self.session.cluster.cost_model
             extra_cost = cost_model.repartition_cost(repartitioned_blocks)
             result.blocks_repartitioned += repartitioned_blocks
             result.cost_units += extra_cost
@@ -78,12 +83,12 @@ class FullRepartitioningBaseline:
         blocks_rewritten = 0
         threshold = self.trigger_fraction * max(len(self.window), 1)
         for table_name in query.tables:
-            if table_name not in self.db.catalog:
+            if table_name not in self.session.catalog:
                 continue
             join_attribute = query.join_attribute(table_name)
             if join_attribute is None:
                 continue
-            table = self.db.catalog.get(table_name)
+            table = self.session.catalog.get(table_name)
             already = (
                 table.num_trees == 1
                 and table.tree_for_join_attribute(join_attribute) is not None

@@ -24,8 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+from ..api.session import Session
 from ..common.query import Query
-from ..core.adaptdb import AdaptDB
 from ..core.config import AdaptDBConfig
 from ..core.executor import QueryResult
 from ..partitioning.two_phase import TwoPhasePartitioner
@@ -60,19 +60,24 @@ class PREFBaseline:
     workload_hint: list[Query] = field(default_factory=list)
     config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     name: str = "PREF"
-    db: AdaptDB = field(init=False)
+    session: Session = field(init=False)
     replication_factors: dict[str, float] = field(init=False)
 
     def __post_init__(self) -> None:
-        self.db = AdaptDB(
-            replace(self.config, enable_smooth=False, enable_amoeba=False,
-                    force_join_method="hyper")
+        self.session = Session(
+            config=replace(self.config, enable_smooth=False, enable_amoeba=False,
+                           force_join_method="hyper")
         )
         for table in self.tables:
             key = self.reference_keys.get(table.name, table.schema.column_names[0])
             tree = self._reference_tree(table, key)
-            self.db.load_table(table, tree=tree)
+            self.session.load_table(table, tree=tree)
         self.replication_factors = self._derive_replication_factors()
+
+    @property
+    def db(self) -> Session:
+        """The underlying engine (kept under the pre-session attribute name)."""
+        return self.session
 
     # ------------------------------------------------------------------ #
     # Workload execution
@@ -82,10 +87,10 @@ class PREFBaseline:
         return [self._run_query(query) for query in queries]
 
     def _run_query(self, query: Query) -> QueryResult:
-        result = self.db.run(query, adapt=False)
+        result = self.session.run(query, adapt=False)
         inflation = self._query_replication_factor(query)
         if inflation > 1.0:
-            cost_model = self.db.cluster.cost_model
+            cost_model = self.session.cluster.cost_model
             result.cost_units *= inflation
             result.blocks_read = int(round(result.blocks_read * inflation))
             result.runtime_seconds = cost_model.to_seconds(result.cost_units)

@@ -8,7 +8,10 @@ same two-method interface::
     runner = FullScanBaseline(tables)
     results = runner.run_workload(queries)    # list[QueryResult]
 
-Runners in this module are thin configurations of the AdaptDB engine itself:
+Runners in this module are thin configuration presets over one
+:class:`repro.api.Session` each — the preset is a dict of
+:class:`~repro.core.config.AdaptDBConfig` overrides plus an "adapt" flag, so
+the engine wiring lives in exactly one place (the session):
 
 * :class:`AdaptDBRunner` — the full system (smooth repartitioning + Amoeba
   refinement + cost-based hyper/shuffle choice),
@@ -23,10 +26,10 @@ Runners in this module are thin configurations of the AdaptDB engine itself:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Protocol
+from typing import ClassVar, Protocol
 
+from ..api.session import Session
 from ..common.query import Query
-from ..core.adaptdb import AdaptDB
 from ..core.config import AdaptDBConfig
 from ..core.executor import QueryResult
 from ..storage.table import ColumnTable
@@ -42,94 +45,84 @@ class WorkloadRunner(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
-def build_adaptdb(tables: list[ColumnTable], config: AdaptDBConfig) -> AdaptDB:
-    """Create an AdaptDB instance and load ``tables`` with upfront partitioning."""
-    db = AdaptDB(config)
+def build_session(tables: list[ColumnTable], config: AdaptDBConfig) -> Session:
+    """Create a session and load ``tables`` with upfront partitioning."""
+    session = Session(config=config)
     for table in tables:
-        db.load_table(table)
-    return db
+        session.load_table(table)
+    return session
 
 
 @dataclass
-class AdaptDBRunner:
-    """The full AdaptDB system."""
+class ConfiguredRunner:
+    """Base for runners that are a config preset over one session.
+
+    Subclasses set ``config_overrides`` (applied with ``dataclasses.replace``
+    on top of the caller's config) and ``adapt`` (whether the workload runs
+    with per-query adaptation).
+    """
 
     tables: list[ColumnTable]
     config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     name: str = "AdaptDB"
-    db: AdaptDB = field(init=False)
+    session: Session = field(init=False)
+    config_overrides: ClassVar[dict] = {}
+    adapt: ClassVar[bool] = True
 
     def __post_init__(self) -> None:
-        self.db = build_adaptdb(self.tables, self.config)
+        config = (
+            replace(self.config, **self.config_overrides)
+            if self.config_overrides
+            else self.config
+        )
+        self.session = build_session(self.tables, config)
+
+    @property
+    def db(self) -> Session:
+        """The underlying engine (kept under the pre-session attribute name)."""
+        return self.session
 
     def run_workload(self, queries: list[Query]) -> list[QueryResult]:
-        """Run the workload with adaptation enabled."""
-        return self.db.run_workload(queries)
+        """Run the workload under this runner's configuration preset."""
+        return self.session.run_workload(queries, adapt=self.adapt)
 
 
 @dataclass
-class AdaptDBShuffleOnlyRunner:
+class AdaptDBRunner(ConfiguredRunner):
+    """The full AdaptDB system."""
+
+    name: str = "AdaptDB"
+
+
+@dataclass
+class AdaptDBShuffleOnlyRunner(ConfiguredRunner):
     """AdaptDB's adaptive partitioning, but every join runs as a shuffle join."""
 
-    tables: list[ColumnTable]
-    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     name: str = "AdaptDB w/ Shuffle Join"
-    db: AdaptDB = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.db = build_adaptdb(self.tables, replace(self.config, force_join_method="shuffle"))
-
-    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
-        """Run the workload with adaptation enabled but shuffle joins forced."""
-        return self.db.run_workload(queries)
+    config_overrides: ClassVar[dict] = {"force_join_method": "shuffle"}
 
 
 @dataclass
-class FullScanBaseline:
+class FullScanBaseline(ConfiguredRunner):
     """No partition pruning, no adaptation, shuffle joins everywhere."""
 
-    tables: list[ColumnTable]
-    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     name: str = "Full Scan"
-    db: AdaptDB = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.db = build_adaptdb(
-            self.tables,
-            replace(
-                self.config,
-                enable_pruning=False,
-                enable_smooth=False,
-                enable_amoeba=False,
-                force_join_method="shuffle",
-            ),
-        )
-
-    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
-        """Run the workload without adapting the layout."""
-        return self.db.run_workload(queries, adapt=False)
+    config_overrides: ClassVar[dict] = {
+        "enable_pruning": False,
+        "enable_smooth": False,
+        "enable_amoeba": False,
+        "force_join_method": "shuffle",
+    }
+    adapt: ClassVar[bool] = False
 
 
 @dataclass
-class AmoebaBaseline:
+class AmoebaBaseline(ConfiguredRunner):
     """Amoeba [21]: selection-driven adaptation only, joins always shuffle."""
 
-    tables: list[ColumnTable]
-    config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     name: str = "Amoeba"
-    db: AdaptDB = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.db = build_adaptdb(
-            self.tables,
-            replace(
-                self.config,
-                enable_smooth=False,
-                enable_amoeba=True,
-                force_join_method="shuffle",
-            ),
-        )
-
-    def run_workload(self, queries: list[Query]) -> list[QueryResult]:
-        """Run the workload with Amoeba's selection-only adaptation."""
-        return self.db.run_workload(queries)
+    config_overrides: ClassVar[dict] = {
+        "enable_smooth": False,
+        "enable_amoeba": True,
+        "force_join_method": "shuffle",
+    }

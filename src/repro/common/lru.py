@@ -1,0 +1,63 @@
+"""A small bounded LRU map with hit/miss counters.
+
+Shared by the session plan cache (:class:`repro.api.cache.PlanCache`) and the
+optimizer's hyper-plan memo (:class:`repro.join.hyperjoin.HyperPlanCache`), so
+the recency/eviction/statistics mechanics exist exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BoundedLRU:
+    """A dict bounded to ``capacity`` entries with least-recently-used eviction.
+
+    Attributes:
+        capacity: Maximum number of entries; ``0`` disables storage (every
+            ``get`` misses, ``put`` is a no-op).
+        hits / misses: Lookup counters since construction.
+    """
+
+    capacity: int = 64
+    hits: int = 0
+    misses: int = 0
+    _entries: dict = field(default_factory=dict, repr=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 with no lookups)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def get(self, key):
+        """Return the value for ``key`` (refreshing its recency) or ``None``."""
+        value = self._entries.pop(key, None)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries[key] = value  # refresh recency
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert ``value`` under ``key``, evicting least-recently-used entries."""
+        if self.capacity <= 0:
+            return
+        self._entries.pop(key, None)
+        while len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()

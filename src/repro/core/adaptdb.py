@@ -1,19 +1,21 @@
-"""The AdaptDB facade: the library's main public entry point.
+"""The AdaptDB facade — a compatibility shim over :class:`repro.api.Session`.
 
-Typical usage::
+New code should use the staged session API directly::
 
-    from repro import AdaptDB, AdaptDBConfig
-    from repro.workloads import TPCHGenerator, tpch_query
+    from repro.api import Session
+    from repro import AdaptDBConfig
 
-    db = AdaptDB(AdaptDBConfig(rows_per_block=1024))
-    for table in TPCHGenerator(scale=0.5).generate().values():
-        db.load_table(table)
-    result = db.run(tpch_query("q12", db.rng))
-    print(result.runtime_seconds, result.join_methods)
+    session = Session(AdaptDBConfig(rows_per_block=1024))
+    session.load_table(table)
+    logical = session.plan(query)     # LogicalPlan, with explain()
+    result = session.execute(session.lower(logical))
 
-``AdaptDB`` wires together the simulated cluster and DFS, the upfront
-partitioner, the adaptive repartitioner (smooth + Amoeba), the cost-based
-optimizer, and the executor.
+``AdaptDB`` is kept so existing callers (and the paper-era examples) keep
+working unchanged; ``plan``/``run``/``run_workload`` are thin delegations to
+an owned session, and the component attributes (``cluster``, ``dfs``,
+``catalog``, ``optimizer``, ``executor``, ``rng``) are read-through views of
+the session's.  The facade will stay, but new lifecycle features (plan
+caching statistics, backend selection, explain) land on the session only.
 """
 
 from __future__ import annotations
@@ -22,16 +24,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..adaptive.repartitioner import AdaptiveRepartitioner
-from ..cluster.cluster import Cluster
-from ..cluster.costmodel import CostModel
-from ..common.errors import StorageError
+from ..api.session import Session
 from ..common.query import Query
-from ..common.rng import derive_rng, make_rng
 from ..partitioning.tree import PartitioningTree
-from ..partitioning.upfront import UpfrontPartitioner
-from ..storage.catalog import Catalog
-from ..storage.dfs import DistributedFileSystem
 from ..storage.table import ColumnTable, StoredTable
 from .config import AdaptDBConfig
 from .executor import Executor, QueryResult
@@ -44,57 +39,52 @@ class AdaptDB:
 
     Attributes:
         config: Instance configuration.
-        cluster: The simulated cluster (created from the config).
-        dfs: The simulated distributed file system.
-        catalog: Registered tables.
+        session: The staged-lifecycle session doing the actual work.  One is
+            created from ``config`` when not supplied, so ``AdaptDB(config)``
+            behaves exactly as before the session API existed.
     """
 
     config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
-    cluster: Cluster = field(init=False)
-    dfs: DistributedFileSystem = field(init=False)
-    catalog: Catalog = field(init=False)
-    optimizer: Optimizer = field(init=False)
-    executor: Executor = field(init=False)
-    rng: np.random.Generator = field(init=False)
+    session: Session | None = None
 
     def __post_init__(self) -> None:
-        self.rng = make_rng(self.config.seed)
-        cost_model = CostModel(
-            shuffle_factor=self.config.shuffle_cost_factor,
-            seconds_per_block=self.config.seconds_per_block,
-            parallelism=self.config.num_machines,
-        )
-        self.cluster = Cluster(
-            num_machines=self.config.num_machines,
-            cost_model=cost_model,
-        )
-        self.dfs = DistributedFileSystem(
-            cluster=self.cluster,
-            replication=self.config.replication,
-            rng=derive_rng(self.rng, "dfs"),
-        )
-        self.catalog = Catalog()
-        repartitioner = AdaptiveRepartitioner(
-            window_size=self.config.window_size,
-            rows_per_block=self.config.rows_per_block,
-            join_level_fraction=self.config.join_level_fraction,
-            min_frequency=self.config.min_frequency,
-            join_levels_override=self.config.join_levels_override,
-            enable_smooth=self.config.enable_smooth,
-            enable_amoeba=self.config.enable_amoeba,
-            rng=derive_rng(self.rng, "repartitioner"),
-        )
-        self.optimizer = Optimizer(
-            catalog=self.catalog,
-            cluster=self.cluster,
-            config=self.config,
-            repartitioner=repartitioner,
-        )
-        self.executor = Executor(
-            catalog=self.catalog,
-            cluster=self.cluster,
-            config=self.config,
-        )
+        if self.session is None:
+            self.session = Session(config=self.config)
+        else:
+            self.config = self.session.config
+
+    # ------------------------------------------------------------------ #
+    # Component views (compat with the pre-session attribute surface)
+    # ------------------------------------------------------------------ #
+    @property
+    def cluster(self):
+        """The simulated cluster."""
+        return self.session.cluster
+
+    @property
+    def dfs(self):
+        """The simulated distributed file system."""
+        return self.session.dfs
+
+    @property
+    def catalog(self):
+        """Registered tables."""
+        return self.session.catalog
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The session's optimizer."""
+        return self.session.optimizer
+
+    @property
+    def executor(self) -> Executor:
+        """The task engine's executor."""
+        return self.session.executor
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The session's root random generator."""
+        return self.session.rng
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -105,68 +95,31 @@ class AdaptDB:
         partition_attributes: list[str] | None = None,
         tree: "PartitioningTree | None" = None,
     ) -> StoredTable:
-        """Partition ``table`` and register it with the instance.
-
-        By default the Amoeba upfront partitioner builds the initial tree
-        (no workload knowledge); callers that *do* know the workload (the
-        PREF and hand-tuned baselines, or a user who "requests" a join tree,
-        Section 5.1) may pass a pre-built ``tree`` instead.
-
-        Args:
-            table: The raw in-memory table.
-            partition_attributes: Attributes the upfront partitioner may use;
-                defaults to every column.  Ignored when ``tree`` is given.
-            tree: Optional pre-built partitioning tree with unbound leaves.
-
-        Returns:
-            The registered :class:`StoredTable`.
-        """
-        if table.name in self.catalog:
-            raise StorageError(f"table {table.name!r} already loaded")
-        if tree is None:
-            attributes = partition_attributes or table.schema.column_names
-            partitioner = UpfrontPartitioner(
-                attributes=attributes, rows_per_block=self.config.rows_per_block
-            )
-            sample = table.sample(
-                self.config.sample_size, derive_rng(self.rng, f"sample:{table.name}")
-            )
-            tree = partitioner.build(sample, total_rows=table.num_rows)
-        stored = StoredTable.load(
-            table,
-            self.dfs,
-            tree,
-            rows_per_block=self.config.rows_per_block,
-            sample_size=self.config.sample_size,
-            rng=derive_rng(self.rng, f"stored-sample:{table.name}"),
-        )
-        self.catalog.register(stored)
-        return stored
+        """Partition ``table`` and register it (see :meth:`Session.load_table`)."""
+        return self.session.load_table(table, partition_attributes, tree)
 
     # ------------------------------------------------------------------ #
     # Query execution
     # ------------------------------------------------------------------ #
     def plan(self, query: Query, adapt: bool = True) -> QueryPlan:
         """Plan a query (optionally without performing adaptation)."""
-        return self.optimizer.plan_query(query, adapt=adapt)
+        return self.session.plan(query, adapt=adapt)
 
     def run(self, query: Query, adapt: bool = True) -> QueryResult:
         """Plan and execute ``query``, returning its accounted result."""
-        self.dfs.reset_read_stats()
-        plan = self.plan(query, adapt=adapt)
-        return self.executor.execute(plan)
+        return self.session.run(query, adapt=adapt)
 
     def run_workload(self, queries: list[Query], adapt: bool = True) -> list[QueryResult]:
         """Run a sequence of queries, adapting after each one."""
-        return [self.run(query, adapt=adapt) for query in queries]
+        return self.session.run_workload(queries, adapt=adapt)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def table(self, name: str) -> StoredTable:
         """Return a registered table by name."""
-        return self.catalog.get(name)
+        return self.session.table(name)
 
     def describe(self) -> str:
         """Multi-line summary of every table's partitioning state."""
-        return "\n".join(table.describe() for table in self.catalog.tables())
+        return self.session.describe()

@@ -43,6 +43,12 @@ class AdaptDBConfig:
         seed: Seed for all randomized choices.
         shuffle_cost_factor: The cost model's ``CSJ`` constant.
         seconds_per_block: Cost-unit to modelled-seconds conversion factor.
+        execution_backend: Which :class:`~repro.api.ExecutionBackend` a
+            session executes through: ``"tasks"`` (the task-based parallel
+            engine, with makespan accounting) or ``"serial"`` (the paper's
+            idealised serial-sum model).
+        plan_cache_size: Capacity of the session's epoch-keyed plan cache
+            (entries); ``0`` disables plan caching entirely.
     """
 
     num_machines: int = 10
@@ -62,6 +68,8 @@ class AdaptDBConfig:
     seed: int = 20170101
     shuffle_cost_factor: float = 3.0
     seconds_per_block: float = 1.0
+    execution_backend: str = "tasks"
+    plan_cache_size: int = 64
 
     def __post_init__(self) -> None:
         if self.rows_per_block <= 0:
@@ -74,3 +82,7 @@ class AdaptDBConfig:
             raise PlanningError("join_level_fraction must be in [0, 1]")
         if self.force_join_method not in (None, "shuffle", "hyper"):
             raise PlanningError("force_join_method must be None, 'shuffle' or 'hyper'")
+        if self.execution_backend not in ("tasks", "serial"):
+            raise PlanningError("execution_backend must be 'tasks' or 'serial'")
+        if self.plan_cache_size < 0:
+            raise PlanningError("plan_cache_size must be non-negative")

@@ -33,8 +33,8 @@ from ..join.kernels import (
 from ..join.shuffle import JoinStats
 from ..storage.catalog import Catalog
 from .result import QueryResult
-from .scheduler import Scheduler, compile_plan
-from .tasks import Task, TaskKind
+from .scheduler import CompiledPlan, Scheduler, compile_plan
+from .tasks import Task, TaskKind, TaskSchedule
 
 
 @dataclass
@@ -71,6 +71,19 @@ class Executor:
 
     def execute(self, plan: QueryPlan) -> QueryResult:
         """Compile, schedule and run ``plan``, returning the accounted result."""
+        compiled = compile_plan(plan, self.catalog, self.cluster, self.config)
+        schedule = Scheduler(self.cluster.num_machines).schedule(compiled.tasks)
+        return self.execute_schedule(plan, compiled, schedule)
+
+    def execute_schedule(
+        self, plan: QueryPlan, compiled: CompiledPlan, schedule: TaskSchedule
+    ) -> QueryResult:
+        """Run an already compiled and scheduled plan.
+
+        The session's plan cache replays a cached ``(compiled, schedule)``
+        pair through this entry point; neither is mutated by execution, so a
+        pair can be replayed any number of times at a fixed partition state.
+        """
         cost_model = self.cluster.cost_model
         result = QueryResult(query=plan.query)
 
@@ -79,8 +92,6 @@ class Executor:
         result.trees_created = plan.adaptation.trees_created
         result.cost_units += cost_model.repartition_cost(plan.adaptation.blocks_repartitioned)
 
-        compiled = compile_plan(plan, self.catalog, self.cluster, self.config)
-        schedule = Scheduler(self.cluster.num_machines).schedule(compiled.tasks)
         result.tasks_scheduled = len(compiled.tasks)
 
         states = [

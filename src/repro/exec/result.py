@@ -34,6 +34,11 @@ class QueryResult:
         join_methods: Join algorithm used per join clause.
         join_stats: Detailed per-join statistics.
         trees_created: New partitioning trees created while adapting.
+        planning_seconds: Wall-clock time the session spent planning the
+            query (adaptation + logical planning + lowering).  Excluded from
+            :meth:`fingerprint` because it is measured, not modelled.
+        plan_cache_hit: Whether the session served the plan from its
+            epoch-keyed plan cache instead of planning from scratch.
     """
 
     query: Query
@@ -51,6 +56,31 @@ class QueryResult:
     join_methods: list[str] = field(default_factory=list)
     join_stats: list[JoinStats] = field(default_factory=list)
     trees_created: int = 0
+    planning_seconds: float = 0.0
+    plan_cache_hit: bool = False
+
+    def fingerprint(self) -> tuple:
+        """Stable digest of every decision-dependent field of the result.
+
+        Two executions of the same query against the same partition state
+        must produce equal fingerprints — the plan-cache tests and the
+        adaptation benchmark compare cached vs. cold runs through this.
+        Wall-clock measurements (``planning_seconds``) and cache provenance
+        (``plan_cache_hit``) are deliberately excluded.
+        """
+        return (
+            self.output_rows,
+            self.scan_output_rows,
+            self.blocks_read,
+            self.blocks_repartitioned,
+            self.shuffled_blocks,
+            round(self.cost_units, 9),
+            round(self.makespan_cost_units, 9),
+            tuple(round(load, 9) for load in self.machine_cost_units),
+            self.tasks_scheduled,
+            tuple(self.join_methods),
+            self.trees_created,
+        )
 
     @property
     def used_hyper_join(self) -> bool:

@@ -19,7 +19,7 @@ import math
 from dataclasses import replace
 
 from ..common.query import join_query
-from ..core.adaptdb import AdaptDB
+from ..api.session import Session
 from ..core.config import AdaptDBConfig
 from ..partitioning.two_phase import TwoPhasePartitioner
 from ..storage.table import ColumnTable
@@ -60,13 +60,13 @@ def run(scale: float = 0.3, rows_per_block: int = 512, seed: int = 1) -> Experim
     )
 
     # Layout 1: workload-oblivious upfront partitioning, shuffle join forced.
-    shuffle_db = AdaptDB(replace(config, force_join_method="shuffle"))
+    shuffle_db = Session(replace(config, force_join_method="shuffle"))
     for table in tables.values():
         shuffle_db.load_table(table)
     shuffle_result = shuffle_db.run(query, adapt=False)
 
     # Layout 2: both tables co-partitioned on the order key, hyper-join forced.
-    hyper_db = AdaptDB(replace(config, force_join_method="hyper"))
+    hyper_db = Session(replace(config, force_join_method="hyper"))
     hyper_db.load_table(
         tables["lineitem"],
         tree=_co_partitioned_tree(tables["lineitem"], "l_orderkey", rows_per_block),

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from ..cluster.costmodel import CostModel
 from ..common.query import scan_query
-from ..core.adaptdb import AdaptDB
+from ..api.session import Session
 from ..core.config import AdaptDBConfig
 from ..exec.scheduler import Scheduler, compile_plan
 from ..workloads.tpch import TPCHGenerator
@@ -33,7 +33,7 @@ def run(scale: float = 0.3, rows_per_block: int = 512, seed: int = 1) -> Experim
     config = AdaptDBConfig(
         rows_per_block=rows_per_block, enable_smooth=False, enable_amoeba=False, seed=seed
     )
-    db = AdaptDB(config)
+    db = Session(config)
     stored = db.load_table(tables["lineitem"])
     num_blocks = len(stored.non_empty_block_ids())
     cost_model: CostModel = db.cluster.cost_model

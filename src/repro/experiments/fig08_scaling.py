@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..common.query import join_query
-from ..core.adaptdb import AdaptDB
+from ..api.session import Session
 from ..core.config import AdaptDBConfig
 from ..workloads.tpch import TPCHGenerator
 from .harness import ExperimentResult, parallelism_notes
@@ -41,7 +41,7 @@ def run(scale: float = 0.4, rows_per_block: int = 512, seed: int = 1) -> Experim
             force_join_method="shuffle",
             seed=seed,
         )
-        db = AdaptDB(config)
+        db = Session(config)
         for table in tables.values():
             db.load_table(table)
         result = db.run(query, adapt=False)

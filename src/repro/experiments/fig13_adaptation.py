@@ -22,14 +22,14 @@ from ..core.config import AdaptDBConfig
 from ..workloads.generators import shifting_workload, switching_workload
 from ..workloads.tpch import TPCHGenerator
 from ..workloads.tpch_queries import EVALUATED_TEMPLATES, tables_for_templates
-from .harness import ExperimentResult
+from .harness import ExperimentResult, runtime_series
 
 #: Systems compared in Figure 13, in legend order.
 FIGURE13_SYSTEMS = ["Full Scan", "Repartitioning", "AdaptDB"]
 
 
 def _run_systems(
-    tables, queries: list[Query], config: AdaptDBConfig
+    tables, queries: list[Query], config: AdaptDBConfig, runtime_model: str = "serial"
 ) -> dict[str, list[float]]:
     """Run the three comparison systems on the same query sequence."""
     runners = [
@@ -40,7 +40,7 @@ def _run_systems(
     runtimes: dict[str, list[float]] = {}
     for runner in runners:
         results = runner.run_workload(queries)
-        runtimes[runner.name] = [result.runtime_seconds for result in results]
+        runtimes[runner.name] = runtime_series(results, runtime_model)
     return runtimes
 
 
@@ -77,12 +77,15 @@ def run_switching(
     queries_per_template: int = 8,
     templates: list[str] | None = None,
     seed: int = 1,
+    runtime_model: str = "serial",
 ) -> ExperimentResult:
     """Reproduce Figure 13(a), the switching workload.
 
     The defaults use fewer queries per template than the paper's 20 to keep
     the simulation quick; pass ``queries_per_template=20`` and the full
-    template list for the paper-sized 160-query run.
+    template list for the paper-sized 160-query run.  ``runtime_model``
+    selects the reported per-query runtime (``"serial"`` — the paper's
+    model, the default — or ``"makespan"``).
     """
     templates = templates or list(EVALUATED_TEMPLATES)
     rng = make_rng(seed)
@@ -91,10 +94,12 @@ def run_switching(
     )
     queries = switching_workload(templates, queries_per_template, rng)
     config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
-    runtimes = _run_systems(tables, queries, config)
-    return _build_result(
+    runtimes = _run_systems(tables, queries, config, runtime_model)
+    result = _build_result(
         "fig13a", "Execution time for the switching workload on TPC-H", runtimes
     )
+    result.notes["runtime_model"] = runtime_model
+    return result
 
 
 def run_shifting(
@@ -103,6 +108,7 @@ def run_shifting(
     transition_length: int = 8,
     templates: list[str] | None = None,
     seed: int = 1,
+    runtime_model: str = "serial",
 ) -> ExperimentResult:
     """Reproduce Figure 13(b), the shifting workload.
 
@@ -116,10 +122,12 @@ def run_shifting(
     )
     queries = shifting_workload(templates, transition_length, rng)
     config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
-    runtimes = _run_systems(tables, queries, config)
-    return _build_result(
+    runtimes = _run_systems(tables, queries, config, runtime_model)
+    result = _build_result(
         "fig13b", "Execution time for the shifting workload on TPC-H", runtimes
     )
+    result.notes["runtime_model"] = runtime_model
+    return result
 
 
 def main() -> None:  # pragma: no cover - CLI helper

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 
-from ..core.adaptdb import AdaptDB
+from ..api.session import Session
 from ..core.config import AdaptDBConfig
 from ..join.hyperjoin import hyper_join
 from ..partitioning.two_phase import TwoPhasePartitioner
@@ -53,7 +53,7 @@ def run(
         enable_amoeba=False,
         seed=seed,
     )
-    db = AdaptDB(config)
+    db = Session(config)
     lineitem = db.load_table(
         tables["lineitem"],
         tree=_two_phase_tree(tables["lineitem"], "l_orderkey", rows_per_block, join_level_fraction),

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 
 from ..common.query import Query, join_query
-from ..core.adaptdb import AdaptDB
+from ..api.session import Session
 from ..core.config import AdaptDBConfig
 from ..join.hyperjoin import plan_hyper_join
 from ..partitioning.two_phase import TwoPhasePartitioner
@@ -69,7 +69,7 @@ def _probe_blocks_for_layout(
         enable_amoeba=False,
         seed=seed,
     )
-    db = AdaptDB(config)
+    db = Session(config)
     lineitem = db.load_table(
         tables["lineitem"],
         tree=_tree_with_join_levels(

@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import time
 
-from ..core.adaptdb import AdaptDB
+from ..api.session import Session
 from ..core.config import AdaptDBConfig
 from ..join.grouping import bottom_up_grouping
 from ..join.ilp import ilp_grouping
@@ -62,7 +62,7 @@ def run(
     buffer_sizes = buffer_sizes or list(DEFAULT_BUFFER_SIZES)
     tables = TPCHGenerator(scale=scale, seed=seed).generate(["lineitem", "orders"])
 
-    db = AdaptDB(AdaptDBConfig(enable_smooth=False, enable_amoeba=False, seed=seed))
+    db = Session(AdaptDBConfig(enable_smooth=False, enable_amoeba=False, seed=seed))
     lineitem = db.load_table(
         tables["lineitem"], tree=_fixed_block_tree(tables["lineitem"], "l_orderkey", lineitem_blocks)
     )

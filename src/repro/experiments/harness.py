@@ -11,6 +11,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Runtime models a figure driver can report: the paper's idealised serial
+#: sum spread perfectly over the cluster, or the task schedule's makespan
+#: (what a real cluster waits for, stragglers included).
+RUNTIME_MODELS = ("serial", "makespan")
+
+
+def runtime_seconds(result, runtime_model: str = "serial") -> float:
+    """Pick one :class:`~repro.exec.result.QueryResult` runtime by model name.
+
+    Args:
+        result: The query result to read.
+        runtime_model: ``"serial"`` returns ``runtime_seconds`` (the paper's
+            model, the default everywhere so existing figure outputs are
+            unchanged); ``"makespan"`` returns ``makespan_seconds``.
+
+    Raises:
+        ValueError: on an unknown model name.
+    """
+    if runtime_model not in RUNTIME_MODELS:
+        raise ValueError(
+            f"unknown runtime model {runtime_model!r}; choose from {RUNTIME_MODELS}"
+        )
+    if runtime_model == "makespan":
+        return result.makespan_seconds
+    return result.runtime_seconds
+
+
+def runtime_series(results, runtime_model: str = "serial") -> list[float]:
+    """Per-query runtimes of ``results`` under the chosen model."""
+    return [runtime_seconds(result, runtime_model) for result in results]
+
 
 @dataclass
 class Series:

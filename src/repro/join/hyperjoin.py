@@ -17,6 +17,7 @@ import numpy as np
 
 from ..cluster.costmodel import CostModel
 from ..common.errors import PlanningError
+from ..common.lru import BoundedLRU
 from ..common.predicates import Predicate
 from ..storage.dfs import DistributedFileSystem
 from .grouping import Grouping, average_probe_multiplicity, group_blocks
@@ -99,6 +100,82 @@ def plan_hyper_join(
         grouping=grouping,
         probe_multiplicity=multiplicity,
     )
+
+
+class HyperPlanCache:
+    """Bounded LRU memo of hyper-join schedules, keyed on partition-state epochs.
+
+    The optimizer costs *both* build directions of every hyper-join on every
+    query, and repeated-template workloads reproduce the same relevant block
+    sets query after query once adaptation has converged.  At a fixed
+    partition state the schedule is a pure function of the block-id lists and
+    the planning knobs, so entries are keyed on::
+
+        (state_token, build_ids, probe_ids, build_col, probe_col,
+         buffer_blocks, algorithm)
+
+    where ``state_token`` carries the ``(table, epoch)`` pairs of both sides.
+    Any table mutation bumps its epoch and thereby orphans every entry that
+    mentions it; orphans age out of the LRU.  Cached plans are shared and
+    must be treated as read-only by consumers (they already are: compilation
+    and execution only read them).
+
+    The cache is held per optimizer instance, never globally — block ids are
+    only unique within one DFS, and test suites run many engines side by
+    side.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._cache = BoundedLRU(capacity=capacity)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to plan from scratch."""
+        return self._cache.misses
+
+    def get_or_plan(
+        self,
+        dfs: DistributedFileSystem,
+        build_block_ids: list[int],
+        probe_block_ids: list[int],
+        build_column: str,
+        probe_column: str,
+        buffer_blocks: int,
+        algorithm: str,
+        state_token: tuple,
+    ) -> HyperJoinPlan:
+        """Return the cached schedule for this key, planning on a miss."""
+        key = (
+            state_token,
+            tuple(build_block_ids),
+            tuple(probe_block_ids),
+            build_column,
+            probe_column,
+            buffer_blocks,
+            algorithm,
+        )
+        plan = self._cache.get(key)
+        if plan is not None:
+            return plan
+        plan = plan_hyper_join(
+            dfs,
+            build_block_ids,
+            probe_block_ids,
+            build_column,
+            probe_column,
+            buffer_blocks,
+            algorithm,
+        )
+        self._cache.put(key, plan)
+        return plan
 
 
 def execute_hyper_join(

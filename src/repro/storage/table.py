@@ -86,6 +86,14 @@ class StoredTable:
             bound to a DFS block (possibly empty).
         sample: Retained row sample used to build new trees later.
         rows_per_block: Target rows per block, used to size new trees.
+
+    Every mutation of the table's partition state (loading a tree, smooth
+    block migration, an Amoeba re-split, a full repartitioning, dropping a
+    drained tree) bumps the table's :attr:`epoch`.  Planning layers key their
+    caches on ``(table, epoch)`` pairs: an unchanged epoch guarantees that
+    block contents, block ranges and tree structure are all unchanged, so a
+    cached plan replays bit-identically; any mutation invalidates exactly the
+    entries that mention the mutated table.
     """
 
     name: str
@@ -96,6 +104,7 @@ class StoredTable:
     rows_per_block: int = 4096
     _block_to_tree: dict[int, int] = field(default_factory=dict)
     _next_tree_id: int = 0
+    _epoch: int = field(default=0, repr=False)
     # Incremental statistics caches (see module docstring).
     _block_rows: dict[int, int] = field(default_factory=dict, repr=False)
     _tree_rows: dict[int, int] = field(default_factory=dict, repr=False)
@@ -134,6 +143,7 @@ class StoredTable:
 
     def _materialize_tree(self, tree: PartitioningTree, columns: dict[str, np.ndarray]) -> int:
         """Bind ``tree``'s leaves to new blocks filled with ``columns``' rows."""
+        self.bump_epoch()
         tree_id = self._next_tree_id
         self._next_tree_id += 1
         tree.tree_id = tree_id
@@ -169,6 +179,19 @@ class StoredTable:
                 for column in self.schema.columns
             }
         return dict(self._empty_template)
+
+    # ------------------------------------------------------------------ #
+    # Partition-state epoch
+    # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """Monotonically increasing partition-state version of the table."""
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Advance the partition-state epoch (called on every mutation)."""
+        self._epoch += 1
+        return self._epoch
 
     # ------------------------------------------------------------------ #
     # Statistics cache maintenance
@@ -369,6 +392,7 @@ class StoredTable:
             sources.append((block_id, source))
         if not sources:
             return stats
+        self.bump_epoch()
 
         # Route the union of all source rows once, then group by target leaf
         # with one stable sort (rows keep source order, and their original
@@ -449,6 +473,10 @@ class StoredTable:
         Returns:
             The number of rows redistributed.
         """
+        # The caller (the Amoeba adaptor) has already re-split the owning
+        # tree's node, so lookups changed even when no rows end up moving —
+        # the epoch must advance unconditionally.
+        self.bump_epoch()
         left_block = self.dfs.peek_block(left_id)
         right_block = self.dfs.peek_block(right_id)
         merged = {
@@ -484,6 +512,8 @@ class StoredTable:
             self._forget_tree(tree_id)
             del self.trees[tree_id]
             removed.append(tree_id)
+        if removed:
+            self.bump_epoch()
         return removed
 
     def replace_with_tree(self, tree: PartitioningTree) -> RepartitionStats:

@@ -1,0 +1,386 @@
+"""Tests for the staged query-lifecycle API (repro.api).
+
+Covers the session lifecycle (plan / lower / execute), the epoch-keyed plan
+cache (hits on repeated templates, invalidation on exactly the mutated
+tables, bit-identical cached results and explain text), partition-state
+epochs on ``StoredTable``, the pluggable execution backends, and the
+``AdaptDB`` compatibility shim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    PlanCache,
+    SerialBackend,
+    Session,
+    TaskBackend,
+    query_signature,
+)
+from repro.api.cache import CachedPlan
+from repro.common.errors import PlanningError
+from repro.common.predicates import between, ge
+from repro.common.query import Query, join_query, scan_query
+from repro.core import AdaptDB, AdaptDBConfig
+from repro.experiments.harness import runtime_seconds
+from repro.partitioning.two_phase import TwoPhasePartitioner
+from repro.workloads.tpch_queries import tpch_query
+
+
+def q12_like(low: float = 0.0, high: float = 400.0) -> Query:
+    """A deterministic two-table join with a fixed-parameter predicate."""
+    return join_query(
+        "lineitem",
+        "orders",
+        "l_orderkey",
+        "o_orderkey",
+        predicates={"lineitem": [between("l_shipdate", low, high)]},
+    )
+
+
+@pytest.fixture
+def session(small_config, tpch_tables):
+    s = Session(config=small_config)
+    for name in ("lineitem", "orders", "part"):
+        s.load_table(tpch_tables[name])
+    return s
+
+
+class TestQuerySignature:
+    def test_equal_queries_share_signature_despite_query_ids(self):
+        assert query_signature(q12_like()) == query_signature(q12_like())
+
+    def test_signature_ignores_predicate_order(self):
+        predicates = [between("l_shipdate", 0, 10), ge("l_quantity", 5)]
+        first = scan_query("lineitem", predicates)
+        second = scan_query("lineitem", list(reversed(predicates)))
+        assert query_signature(first) == query_signature(second)
+
+    def test_signature_distinguishes_predicate_values(self):
+        assert query_signature(q12_like(0, 10)) != query_signature(q12_like(0, 20))
+
+    def test_signature_distinguishes_join_shape(self):
+        plain = join_query("lineitem", "orders", "l_orderkey", "o_orderkey")
+        assert query_signature(plain) != query_signature(q12_like())
+
+    def test_signature_ignores_template_label(self):
+        labelled = join_query(
+            "lineitem", "orders", "l_orderkey", "o_orderkey", template="q12"
+        )
+        plain = join_query("lineitem", "orders", "l_orderkey", "o_orderkey")
+        assert query_signature(labelled) == query_signature(plain)
+
+
+class TestStoredTableEpochs:
+    def test_load_establishes_epoch(self, session):
+        assert session.table("lineitem").epoch == 1
+
+    def test_add_empty_tree_bumps(self, session):
+        table = session.table("lineitem")
+        before = table.epoch
+        tree = TwoPhasePartitioner("l_orderkey", ["l_shipdate"]).build(
+            table.sample,
+            total_rows=table.total_rows,
+            num_leaves=max(2, table.total_rows // session.config.rows_per_block),
+        )
+        table.add_empty_tree(tree)
+        assert table.epoch == before + 1
+
+    def test_move_blocks_bumps_only_when_rows_move(self, session):
+        table = session.table("lineitem")
+        tree = TwoPhasePartitioner("l_orderkey", ["l_shipdate"]).build(
+            table.sample,
+            total_rows=table.total_rows,
+            num_leaves=max(2, table.total_rows // session.config.rows_per_block),
+        )
+        target = table.add_empty_tree(tree)
+        before = table.epoch
+        table.move_blocks(table.block_ids(), target)
+        assert table.epoch == before + 1
+        # Every row now lives under the target tree: a second move is a no-op
+        # and must not bump (no plan could be invalidated by it).
+        after_move = table.epoch
+        table.move_blocks(table.block_ids(), target)
+        assert table.epoch == after_move
+
+    def test_resplit_leaf_pair_bumps_unconditionally(self, session):
+        table = session.table("lineitem")
+        tree = table.trees[0]
+        block_ids = tree.block_ids()
+        before = table.epoch
+        table.resplit_leaf_pair(block_ids[0], block_ids[1], "l_shipdate", 1e18)
+        assert table.epoch == before + 1
+
+    def test_replace_with_tree_bumps(self, session):
+        table = session.table("part")
+        tree = TwoPhasePartitioner("p_partkey", ["p_size"]).build(
+            table.sample,
+            total_rows=table.total_rows,
+            num_leaves=max(2, table.total_rows // session.config.rows_per_block),
+        )
+        before = table.epoch
+        table.replace_with_tree(tree)
+        assert table.epoch > before
+
+    def test_adaptive_query_bumps_joined_tables(self, session):
+        before = {name: session.table(name).epoch for name in ("lineitem", "orders")}
+        result = session.run(q12_like(), adapt=True)
+        assert result.blocks_repartitioned > 0 or result.trees_created > 0
+        after = {name: session.table(name).epoch for name in ("lineitem", "orders")}
+        assert after != before
+
+
+class TestPlanCache:
+    def test_repeated_query_hits_cache(self, session):
+        first = session.run(q12_like(), adapt=False)
+        second = session.run(q12_like(), adapt=False)
+        assert not first.plan_cache_hit
+        assert second.plan_cache_hit
+        assert session.plan_cache.hit_rate > 0
+
+    def test_cached_and_cold_results_are_bit_identical(self, session):
+        cold = session.run(q12_like(), adapt=False)
+        cached = session.run(q12_like(), adapt=False)
+        assert cached.plan_cache_hit
+        assert cached.fingerprint() == cold.fingerprint()
+
+    def test_cached_and_cold_explain_text_identical(self, session):
+        cold_logical = session.plan(q12_like(), adapt=False)
+        cold_physical = session.lower(cold_logical)
+        cached_logical = session.plan(q12_like(), adapt=False)
+        cached_physical = session.lower(cached_logical)
+        assert cached_logical.from_cache and cached_physical.from_cache
+        assert cached_logical.explain() == cold_logical.explain()
+        assert cached_physical.explain() == cold_physical.explain()
+
+    def test_mutation_invalidates_affected_tables_entries(self, session):
+        session.run(q12_like(), adapt=False)
+        assert session.run(q12_like(), adapt=False).plan_cache_hit
+        # A real mutation through the adaptation path (tree creation + block
+        # migration) bumps lineitem/orders epochs ...
+        session.run(tpch_query("q12", session.rng), adapt=True)
+        # ... so the cached plan for the old partition state must not serve.
+        post_mutation = session.run(q12_like(), adapt=False)
+        assert not post_mutation.plan_cache_hit
+
+    def test_mutating_unrelated_table_keeps_entries_valid(self, session):
+        session.run(q12_like(), adapt=False)
+        session.table("part").bump_epoch()  # partition-state change on part only
+        assert session.run(q12_like(), adapt=False).plan_cache_hit
+
+    def test_post_mutation_results_reflect_new_state(self, session, tpch_tables):
+        """A post-mutation query is never served a stale plan."""
+        from repro.testing import reference_join_count
+
+        expected = reference_join_count(
+            tpch_tables["lineitem"], tpch_tables["orders"], "l_orderkey", "o_orderkey"
+        )
+        query = join_query("lineitem", "orders", "l_orderkey", "o_orderkey")
+        assert session.run(query, adapt=False).output_rows == expected
+        # Adapt repeatedly (smooth migration rewrites blocks between trees).
+        for _ in range(6):
+            session.run(tpch_query("q12", session.rng), adapt=True)
+        again = session.run(join_query("lineitem", "orders", "l_orderkey", "o_orderkey"),
+                            adapt=False)
+        assert again.output_rows == expected
+
+    def test_steady_state_adaptive_workload_hits_cache(self, session):
+        query = q12_like()
+        results = [session.run(query, adapt=True) for _ in range(16)]
+        tail = results[-3:]
+        assert any(result.plan_cache_hit for result in tail)
+        fingerprints = {result.fingerprint() for result in tail}
+        assert len(fingerprints) == 1
+
+    def test_cache_disabled_by_config(self, tpch_tables):
+        config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=3,
+                               plan_cache_size=0)
+        session = Session(config=config)
+        for name in ("lineitem", "orders"):
+            session.load_table(tpch_tables[name])
+        first = session.run(q12_like(), adapt=False)
+        second = session.run(q12_like(), adapt=False)
+        assert not first.plan_cache_hit and not second.plan_cache_hit
+        assert len(session.plan_cache) == 0
+
+    def test_workload_identical_with_and_without_cache(self, tpch_tables):
+        """The cache must never change results or adaptation decisions."""
+        rng = np.random.default_rng(9)
+        queries = [tpch_query("q12", rng) for _ in range(10)]
+
+        def run_workload(plan_cache_size: int):
+            config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=11,
+                                   plan_cache_size=plan_cache_size)
+            session = Session(config=config)
+            for name in ("lineitem", "orders"):
+                session.load_table(tpch_tables[name])
+            return [result.fingerprint() for result in session.run_workload(queries)]
+
+        assert run_workload(64) == run_workload(0)
+
+    def test_hyper_plan_cache_reused_across_different_predicates(self, session):
+        """Same pruned block sets under different values reuse the hyper plan."""
+        session.run(q12_like(0.0, 1e18), adapt=False)   # prunes nothing
+        hits_before = session.optimizer.hyper_cache.hits
+        session.run(q12_like(-1.0, 1e18), adapt=False)  # different signature,
+        assert session.optimizer.hyper_cache.hits > hits_before  # same blocks
+
+    def test_plan_cache_lru_bound(self):
+        cache = PlanCache(capacity=2)
+        entry = CachedPlan(scan_tables=[], scan_blocks={}, join_decisions=[])
+        cache.put(("a",), entry)
+        cache.put(("b",), entry)
+        assert cache.get(("a",)) is entry  # refresh "a"
+        cache.put(("c",), entry)           # evicts "b", the LRU entry
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is entry
+        assert cache.get(("c",)) is entry
+        assert len(cache) == 2
+
+
+class TestBackends:
+    def test_serial_and_task_backends_agree(self, session):
+        query = q12_like()
+        tasks_result = session.run(query, adapt=False)
+        session.use_backend("serial")
+        serial_result = session.run(query, adapt=False)
+        assert serial_result.output_rows == tasks_result.output_rows
+        assert serial_result.scan_output_rows == tasks_result.scan_output_rows
+        assert serial_result.blocks_read == tasks_result.blocks_read
+        assert serial_result.cost_units == pytest.approx(tasks_result.cost_units)
+        assert serial_result.runtime_seconds == pytest.approx(tasks_result.runtime_seconds)
+
+    def test_serial_backend_has_no_schedule_accounting(self, session):
+        session.use_backend("serial")
+        result = session.run(q12_like(), adapt=False)
+        assert result.makespan_cost_units == 0.0
+        assert result.tasks_scheduled == 0
+        assert result.machine_cost_units == []
+
+    def test_backend_selected_via_config(self, tpch_tables):
+        config = AdaptDBConfig(rows_per_block=512, buffer_blocks=4, seed=3,
+                               execution_backend="serial")
+        session = Session(config=config)
+        assert isinstance(session.backend, SerialBackend)
+
+    def test_unknown_backend_rejected(self, session):
+        with pytest.raises(PlanningError):
+            session.use_backend("quantum")
+        with pytest.raises(PlanningError):
+            AdaptDBConfig(execution_backend="quantum")
+
+    def test_custom_backend_instance_accepted(self, session):
+        backend = TaskBackend(
+            catalog=session.catalog, cluster=session.cluster, config=session.config,
+            name="tasks2",
+        )
+        assert session.use_backend(backend) is backend
+        assert session.backends["tasks2"] is backend
+
+    def test_serial_sessions_skip_lowering(self, session):
+        session.use_backend("serial")
+        physical = session.lower(session.plan(q12_like(), adapt=False))
+        assert physical.schedule_elided
+        assert physical.compiled.tasks == []
+        assert "elided" in physical.explain()
+
+    def test_task_backend_recovers_from_elided_lowering(self, session):
+        session.use_backend("serial")
+        physical = session.lower(session.plan(q12_like(), adapt=False))
+        session.use_backend("tasks")
+        result = session.execute(physical)  # must compile for itself
+        assert result.tasks_scheduled > 0
+        assert result.output_rows == session.run(q12_like(), adapt=False).output_rows
+
+    def test_mutating_a_served_plan_does_not_poison_the_cache(self, session):
+        reference = session.run(q12_like(), adapt=False).fingerprint()
+        tampered = session.plan(q12_like(), adapt=False)
+        tampered.join_decisions.clear()
+        tampered.scan_tables.append("part")
+        tampered.scan_blocks["part"] = []
+        assert session.run(q12_like(), adapt=False).fingerprint() == reference
+
+    def test_multi_join_agreement(self, small_config, tpch_tables):
+        session = Session(config=small_config)
+        for name in ("lineitem", "orders", "customer"):
+            session.load_table(tpch_tables[name])
+        query = tpch_query("q3", session.rng)
+        tasks_result = session.run(query, adapt=False)
+        session.use_backend("serial")
+        serial_result = session.run(query, adapt=False)
+        assert serial_result.output_rows == tasks_result.output_rows
+        assert serial_result.join_methods == tasks_result.join_methods
+        assert serial_result.cost_units == pytest.approx(tasks_result.cost_units)
+
+
+class TestReadStatScoping:
+    def test_plan_does_not_reset_read_stats(self, session):
+        session.run(q12_like(), adapt=False)
+        reads_after_run = session.dfs.read_stats.total_reads
+        assert reads_after_run > 0
+        session.plan(q12_like(0, 50), adapt=False)
+        session.lower(session.plan(q12_like(0, 60), adapt=False))
+        assert session.dfs.read_stats.total_reads == reads_after_run
+
+    def test_execute_scopes_stats_to_one_query(self, session):
+        first = session.run(scan_query("part", [ge("p_size", 0)]), adapt=False)
+        total_after_first = session.dfs.read_stats.total_reads
+        session.run(scan_query("part", [ge("p_size", 0)]), adapt=False)
+        # Identical query, identical placement: per-execution totals match.
+        assert session.dfs.read_stats.total_reads == total_after_first
+        assert first.blocks_read == total_after_first
+
+
+class TestPlanningMetadata:
+    def test_planning_seconds_recorded(self, session):
+        result = session.run(q12_like(), adapt=False)
+        assert result.planning_seconds > 0.0
+
+    def test_logical_plan_records_epochs_and_signature(self, session):
+        logical = session.plan(q12_like(), adapt=False)
+        assert logical.signature == query_signature(q12_like())
+        assert dict(logical.table_epochs) == {
+            "lineitem": session.table("lineitem").epoch,
+            "orders": session.table("orders").epoch,
+        }
+
+    def test_runtime_model_helper(self, session):
+        result = session.run(q12_like(), adapt=False)
+        assert runtime_seconds(result) == result.runtime_seconds
+        assert runtime_seconds(result, "makespan") == result.makespan_seconds
+        with pytest.raises(ValueError):
+            runtime_seconds(result, "wishful")
+
+
+class TestAdaptDBShim:
+    def test_facade_delegates_to_session(self, small_config, tpch_tables):
+        db = AdaptDB(small_config)
+        assert isinstance(db.session, Session)
+        db.load_table(tpch_tables["lineitem"])
+        db.load_table(tpch_tables["orders"])
+        assert db.catalog is db.session.catalog
+        assert db.dfs is db.session.dfs
+        assert db.optimizer is db.session.optimizer
+        assert db.rng is db.session.rng
+        result = db.run(q12_like(), adapt=False)
+        assert result.output_rows > 0
+
+    def test_facade_and_session_runs_are_identical(self, small_config, tpch_tables):
+        db = AdaptDB(small_config)
+        session = Session(config=small_config)
+        for name in ("lineitem", "orders"):
+            db.load_table(tpch_tables[name])
+            session.load_table(tpch_tables[name])
+        query = q12_like()
+        assert db.run(query, adapt=False).fingerprint() == \
+            session.run(query, adapt=False).fingerprint()
+
+    def test_facade_accepts_existing_session(self, small_config, tpch_tables):
+        session = Session(config=small_config)
+        session.load_table(tpch_tables["lineitem"])
+        db = AdaptDB(session=session)
+        assert db.session is session
+        assert db.config is session.config
+        assert db.table("lineitem") is session.table("lineitem")

@@ -126,6 +126,16 @@ class TestFig13:
         )
         assert result.notes["improvement_vs_full_scan"] > 1.2
 
+    def test_makespan_runtime_model_changes_series(self):
+        kwargs = dict(scale=0.05, queries_per_template=2, templates=["q12", "q14"])
+        serial = fig13_adaptation.run_switching(**kwargs)
+        makespan = fig13_adaptation.run_switching(**kwargs, runtime_model="makespan")
+        assert serial.notes["runtime_model"] == "serial"
+        assert makespan.notes["runtime_model"] == "makespan"
+        # The schedule's completion time includes straggler effects the
+        # serial model hides, so the two series must not coincide.
+        assert serial.series_by_label("AdaptDB").y != makespan.series_by_label("AdaptDB").y
+
 
 class TestFig14:
     def test_bigger_buffers_read_fewer_probe_blocks(self):
