@@ -13,7 +13,13 @@ Times the hot paths this repo's incremental-statistics work targets:
   workload is run once with the session plan cache enabled and once with it
   disabled, recording cold vs. cached planning time, the cache hit rate, and
   whether every per-query result fingerprint is bit-identical between the
-  two runs (it must be — the cache may only change planning time).
+  two runs (it must be — the cache may only change planning time),
+* **sim** — a fig13-style concurrent workload on the ``repro.sim``
+  discrete-event simulator: four closed-loop clients with think time plus a
+  background repartitioning stream, reporting per-query latency percentiles,
+  queueing delay and machine utilisation.  The whole simulation runs twice
+  from fresh sessions; the smoke gate fails unless both runs produce
+  bit-identical latency fingerprints (the simulator must be deterministic).
 
 Besides wall-clock numbers the end-to-end run records a *decision
 fingerprint* — per-query ``output_rows``, blocks read, blocks repartitioned
@@ -48,6 +54,7 @@ from repro.common.predicates import between
 from repro.common.rng import make_rng
 from repro.core.config import AdaptDBConfig
 from repro.partitioning.two_phase import TwoPhasePartitioner
+from repro.sim import run_concurrent_workload
 from repro.workloads.generators import switching_workload
 from repro.workloads.tpch import TPCHGenerator
 from repro.workloads.tpch_queries import EVALUATED_TEMPLATES, tables_for_templates, tpch_query
@@ -175,6 +182,72 @@ def run_plan_cache_benchmark(
 
 
 # --------------------------------------------------------------------------- #
+# Concurrent-workload simulation benchmark
+# --------------------------------------------------------------------------- #
+
+def run_sim_workload_benchmark(
+    scale: float,
+    rows_per_block: int,
+    num_clients: int = 4,
+    queries_per_client: int = 4,
+    think_seconds: float = 20.0,
+    background_repartition_blocks: int = 200,
+    seed: int = 1,
+) -> dict:
+    """Fig13-style concurrent run on the discrete-event simulator.
+
+    ``num_clients`` closed-loop clients submit TPC-H template queries with
+    seeded exponential think time while a background repartitioning stream
+    contends for machines and the bounded repartitioning bandwidth.  The
+    simulation runs **twice** from fresh sessions with the same seed; the
+    reported ``deterministic`` flag (gated in CI) is whether both runs
+    produced bit-identical latency fingerprints.
+    """
+    templates = ["q12", "q3", "q14", "q12"]
+
+    def run_once():
+        config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
+        session = Session(config=config)
+        tables = TPCHGenerator(scale=scale, seed=seed).generate(
+            ["lineitem", "orders", "customer", "part"]
+        )
+        for table in tables.values():
+            session.load_table(table)
+        rng = make_rng(seed + 100)
+        clients = [
+            [
+                tpch_query(templates[i % len(templates)], rng)
+                for i in range(queries_per_client)
+            ]
+            for _ in range(num_clients)
+        ]
+        start = time.perf_counter()
+        report = run_concurrent_workload(
+            session,
+            clients,
+            think_seconds=think_seconds,
+            seed=seed,
+            background_repartition_blocks=background_repartition_blocks,
+        )
+        return report, time.perf_counter() - start
+
+    first, first_wall = run_once()
+    second, _ = run_once()
+    summary = first.summary()
+    summary.update(
+        num_clients=num_clients,
+        queries_per_client=queries_per_client,
+        think_seconds=think_seconds,
+        background_repartition_blocks=background_repartition_blocks,
+        scale=scale,
+        rows_per_block=rows_per_block,
+        wall_seconds=round(first_wall, 4),
+        deterministic=first.fingerprint() == second.fingerprint(),
+    )
+    return summary
+
+
+# --------------------------------------------------------------------------- #
 # Microbenchmarks
 # --------------------------------------------------------------------------- #
 
@@ -275,6 +348,10 @@ def run_suite(smoke: bool) -> dict:
         plan_cache = run_plan_cache_benchmark(
             scale=0.02, rows_per_block=64, warmup_per_template=6, repeats=3
         )
+        sim = run_sim_workload_benchmark(
+            scale=0.02, rows_per_block=128, num_clients=4, queries_per_client=2,
+            background_repartition_blocks=64,
+        )
         micro_rows, micro_rpb, iters, cycles = 20_000, 128, 50, 2
     else:
         # rows_per_block=64 is the small-block regime where per-query
@@ -284,11 +361,16 @@ def run_suite(smoke: bool) -> dict:
         plan_cache = run_plan_cache_benchmark(
             scale=0.1, rows_per_block=64, warmup_per_template=12, repeats=5
         )
+        sim = run_sim_workload_benchmark(
+            scale=0.1, rows_per_block=512, num_clients=4, queries_per_client=4,
+            background_repartition_blocks=200,
+        )
         micro_rows, micro_rpb, iters, cycles = 100_000, 128, 200, 6
     return {
         "mode": "smoke" if smoke else "full",
         "end_to_end": e2e,
         "plan_cache": plan_cache,
+        "sim": sim,
         "micro": {
             "lookup": bench_lookup(micro_rows, micro_rpb, iters),
             "route": bench_route(micro_rows, micro_rpb, iters),
@@ -319,10 +401,30 @@ def check_plan_cache(post: dict) -> int:
     return status
 
 
+def check_sim(post: dict) -> int:
+    """Gate the sim benchmark: the concurrent run must be deterministic."""
+    sim = post.get("sim")
+    if not sim:
+        return 0
+    latency = sim["latency"]
+    print(f"sim: {sim['queries']} queries over {sim['num_clients']} clients, "
+          f"latency p50 {latency['p50']} / p90 {latency['p90']} / p99 {latency['p99']} sim-s, "
+          f"mean queueing {sim['mean_queueing_seconds']} sim-s, "
+          f"deterministic: {sim['deterministic']}")
+    if not sim["deterministic"]:
+        print("ERROR: two identically-seeded sim runs produced different latencies",
+              file=sys.stderr)
+        return 1
+    if sim["queries"] <= 0:
+        print("ERROR: sim benchmark completed no queries", file=sys.stderr)
+        return 1
+    return 0
+
+
 def compare(data: dict) -> int:
     """Report pre/post speedup and fingerprint equality; non-zero on mismatch."""
     post = data.get("post")
-    status = check_plan_cache(post) if post else 0
+    status = (check_plan_cache(post) + check_sim(post)) if post else 0
     pre = data.get("pre")
     if not (pre and post):
         return status

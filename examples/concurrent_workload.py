@@ -1,0 +1,100 @@
+"""Concurrent queries under contention: the discrete-event simulator at work.
+
+Run with::
+
+    python examples/concurrent_workload.py
+
+The script loads a small TPC-H dataset, then drives the same four-client
+closed-loop workload (each client: submit a query, wait for its simulated
+completion, think, repeat) through the ``repro.sim`` cluster simulator three
+times:
+
+1. queries alone,
+2. queries with a background repartitioning stream competing for machines
+   and the bounded repartitioning bandwidth,
+3. the same, with repartitioning bandwidth doubled.
+
+It prints per-query latency percentiles, queueing delay and machine
+utilisation for each scenario — the contention effects the serial and
+makespan models cannot express.  Everything is seeded: re-running the script
+reproduces the numbers exactly.
+"""
+
+from __future__ import annotations
+
+from repro import AdaptDBConfig, Session
+from repro.common.rng import make_rng
+from repro.sim import run_concurrent_workload
+from repro.workloads import TPCHGenerator, tpch_query
+
+NUM_CLIENTS = 4
+QUERIES_PER_CLIENT = 4
+TEMPLATES = ["q12", "q3", "q14", "q12"]
+
+
+def build_session() -> Session:
+    session = Session(AdaptDBConfig(rows_per_block=512, buffer_blocks=8, seed=1))
+    tables = TPCHGenerator(scale=0.1, seed=1).generate(
+        ["lineitem", "orders", "customer", "part"]
+    )
+    for table in tables.values():
+        session.load_table(table)
+    return session
+
+
+def client_queries():
+    rng = make_rng(77)
+    return [
+        [tpch_query(TEMPLATES[i % len(TEMPLATES)], rng) for i in range(QUERIES_PER_CLIENT)]
+        for _ in range(NUM_CLIENTS)
+    ]
+
+
+def describe(label: str, report) -> None:
+    stats = report.percentiles()
+    utilisation = report.utilisation()
+    print(f"\n{label}")
+    print(f"  completed {len(report.queries)} queries in {report.finished_at:.1f} sim-s")
+    print(
+        "  latency  p50 {p50:8.1f}   p90 {p90:8.1f}   p99 {p99:8.1f}   "
+        "mean {mean:8.1f}".format(**stats)
+    )
+    print(f"  mean queueing delay per query: {report.mean_queueing_seconds:8.1f} sim-s")
+    print(f"  mean machine utilisation:      {sum(utilisation) / len(utilisation):8.1%}")
+
+
+def main() -> None:
+    print(f"Simulating {NUM_CLIENTS} closed-loop clients x {QUERIES_PER_CLIENT} queries "
+          "(think time 20 sim-s) ...")
+
+    report = run_concurrent_workload(
+        build_session(), client_queries(), think_seconds=20.0, seed=5
+    )
+    describe("queries only", report)
+
+    contended = run_concurrent_workload(
+        build_session(), client_queries(), think_seconds=20.0, seed=5,
+        background_repartition_blocks=200,
+    )
+    describe("with background repartitioning (bandwidth 2)", contended)
+
+    relaxed = run_concurrent_workload(
+        build_session(), client_queries(), think_seconds=20.0, seed=5,
+        background_repartition_blocks=200, repartition_bandwidth=4,
+    )
+    describe("with background repartitioning (bandwidth 4)", relaxed)
+
+    slowdown = (
+        contended.percentiles()["p90"] / report.percentiles()["p90"]
+        if report.percentiles()["p90"]
+        else float("inf")
+    )
+    print(f"\nbackground repartitioning inflates p90 latency {slowdown:.2f}x; "
+          "raising the repartition bandwidth lets the stream finish earlier "
+          f"({relaxed.background_finished_at:.0f} vs "
+          f"{contended.background_finished_at:.0f} sim-s) at the price of "
+          "more query interference while it runs.")
+
+
+if __name__ == "__main__":
+    main()

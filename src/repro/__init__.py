@@ -10,6 +10,7 @@ cluster/HDFS substrate:
 * ``repro.adaptive``      — query window, smooth repartitioning, Amoeba refinement
 * ``repro.join``          — hyper-join (overlap, grouping heuristics, ILP) and shuffle join
 * ``repro.core``          — optimizer, planner, executor, and the :class:`AdaptDB` facade
+* ``repro.sim``           — discrete-event cluster simulator and the concurrent-workload driver
 * ``repro.workloads``     — TPC-H and CMT generators plus the paper's workload patterns
 * ``repro.baselines``     — Full Scan, full repartitioning, Amoeba-only, PREF, hand-tuned
 * ``repro.experiments``   — one driver per figure of the paper's evaluation
@@ -35,6 +36,7 @@ from .api import (
     PhysicalPlan,
     SerialBackend,
     Session,
+    SimBackend,
     TaskBackend,
 )
 from .storage import ColumnTable
@@ -56,6 +58,7 @@ __all__ = [
     "Schema",
     "SerialBackend",
     "Session",
+    "SimBackend",
     "TaskBackend",
     "__version__",
     "join_query",

@@ -5,13 +5,15 @@ This package is the library's public planning/execution surface::
     Session  -- owns cluster, DFS, catalog; entry point for load/plan/run
     LogicalPlan / PhysicalPlan -- the two explicit plan stages, both with
         stable ``explain()`` text
-    ExecutionBackend -- protocol; SerialBackend and TaskBackend implement it
+    ExecutionBackend -- protocol; SerialBackend, TaskBackend and SimBackend
+        (re-exported from ``repro.sim``) implement it
     PlanCache / query_signature -- the epoch-keyed plan cache
 
 Everything else (``repro.core.AdaptDB``) is a compatibility shim over a
 :class:`Session`.  Construct optimizers/executors only through this package.
 """
 
+from ..sim.backend import SimBackend
 from .backends import ExecutionBackend, SerialBackend, TaskBackend
 from .cache import CachedPlan, PlanCache, query_signature
 from .plans import LogicalPlan, PhysicalPlan
@@ -25,6 +27,7 @@ __all__ = [
     "PlanCache",
     "SerialBackend",
     "Session",
+    "SimBackend",
     "TaskBackend",
     "query_signature",
 ]

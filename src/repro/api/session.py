@@ -13,9 +13,10 @@ every query through three explicit stages::
     result = session.run(query)         # the three stages in one call
 
 Execution goes through a pluggable :class:`~repro.api.backends.ExecutionBackend`
-(``"tasks"`` — the parallel task engine, or ``"serial"`` — the paper's
-idealised model), selected per session via ``AdaptDBConfig.execution_backend``
-or the ``backend`` argument.
+(``"tasks"`` — the parallel task engine, ``"serial"`` — the paper's idealised
+model, or ``"simulated"`` — the task engine plus the ``repro.sim``
+discrete-event cluster simulator), selected per session via
+``AdaptDBConfig.execution_backend`` or the ``backend`` argument.
 
 Planning is cached: every :class:`~repro.storage.table.StoredTable` mutation
 bumps a per-table epoch, and the session keeps a bounded plan cache keyed on
@@ -52,6 +53,7 @@ from ..exec.scheduler import Scheduler, compile_plan
 from ..join.hyperjoin import HyperPlanCache
 from ..partitioning.tree import PartitioningTree
 from ..partitioning.upfront import UpfrontPartitioner
+from ..sim.backend import SimBackend
 from ..storage.catalog import Catalog
 from ..storage.dfs import DistributedFileSystem
 from ..storage.table import ColumnTable, StoredTable
@@ -125,6 +127,7 @@ class Session:
             for backend in (
                 TaskBackend(catalog=self.catalog, cluster=self.cluster, config=self.config),
                 SerialBackend(catalog=self.catalog, cluster=self.cluster, config=self.config),
+                SimBackend(catalog=self.catalog, cluster=self.cluster, config=self.config),
             )
         }
         self.use_backend(self.backend if self.backend is not None

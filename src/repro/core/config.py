@@ -45,8 +45,14 @@ class AdaptDBConfig:
         seconds_per_block: Cost-unit to modelled-seconds conversion factor.
         execution_backend: Which :class:`~repro.api.ExecutionBackend` a
             session executes through: ``"tasks"`` (the task-based parallel
-            engine, with makespan accounting) or ``"serial"`` (the paper's
-            idealised serial-sum model).
+            engine, with makespan accounting), ``"serial"`` (the paper's
+            idealised serial-sum model), or ``"simulated"`` (the task engine
+            plus the ``repro.sim`` discrete-event simulator: stage barriers,
+            queueing, repartition-bandwidth contention).
+        sim_repartition_bandwidth: Cluster-wide cap on repartition tasks
+            running concurrently in the simulator — the bounded I/O budget
+            adaptation work gets, so it contends with query tasks instead of
+            spreading for free.
         plan_cache_size: Capacity of the session's epoch-keyed plan cache
             (entries); ``0`` disables plan caching entirely.
     """
@@ -69,6 +75,7 @@ class AdaptDBConfig:
     shuffle_cost_factor: float = 3.0
     seconds_per_block: float = 1.0
     execution_backend: str = "tasks"
+    sim_repartition_bandwidth: int = 2
     plan_cache_size: int = 64
 
     def __post_init__(self) -> None:
@@ -82,7 +89,11 @@ class AdaptDBConfig:
             raise PlanningError("join_level_fraction must be in [0, 1]")
         if self.force_join_method not in (None, "shuffle", "hyper"):
             raise PlanningError("force_join_method must be None, 'shuffle' or 'hyper'")
-        if self.execution_backend not in ("tasks", "serial"):
-            raise PlanningError("execution_backend must be 'tasks' or 'serial'")
+        if self.execution_backend not in ("tasks", "serial", "simulated"):
+            raise PlanningError(
+                "execution_backend must be 'tasks', 'serial' or 'simulated'"
+            )
+        if self.sim_repartition_bandwidth < 1:
+            raise PlanningError("sim_repartition_bandwidth must be at least 1")
         if self.plan_cache_size < 0:
             raise PlanningError("plan_cache_size must be non-negative")

@@ -39,6 +39,13 @@ class QueryResult:
             :meth:`fingerprint` because it is measured, not modelled.
         plan_cache_hit: Whether the session served the plan from its
             epoch-keyed plan cache instead of planning from scratch.
+        sim_seconds: Completion time of the schedule in the discrete-event
+            simulator (``repro.sim``): makespan plus barrier-induced stalls.
+            Zero unless the query ran through the simulated backend.
+        sim_queueing_seconds: Summed per-task queueing delay the simulator
+            observed (time tasks spent runnable but waiting for a machine).
+        sim_machine_busy_seconds: Simulated busy time per machine (index =
+            machine id); ``sim_seconds - busy`` is that machine's idle time.
     """
 
     query: Query
@@ -58,6 +65,9 @@ class QueryResult:
     trees_created: int = 0
     planning_seconds: float = 0.0
     plan_cache_hit: bool = False
+    sim_seconds: float = 0.0
+    sim_queueing_seconds: float = 0.0
+    sim_machine_busy_seconds: list[float] = field(default_factory=list)
 
     def fingerprint(self) -> tuple:
         """Stable digest of every decision-dependent field of the result.

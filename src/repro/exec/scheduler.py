@@ -9,7 +9,10 @@ Compilation turns a :class:`QueryPlan` into per-machine work:
   overlapping it) becomes one task,
 * adaptation work (Type 2 blocks) is spread evenly as repartition tasks,
 * each shuffle join adds one reduce task per shuffle partition in a second
-  stage, carrying the run write/re-read share of the paper's ``CSJ`` cost.
+  stage, carrying the run write/re-read share of the paper's ``CSJ`` cost —
+  sized from the *actual* per-partition row counts (the filtered join keys
+  are hash-partitioned once at compile time), so a skewed key distribution
+  produces skewed reduce tasks instead of an even split.
 
 The scheduler then places tasks greedily, longest task first, on the machine
 that is least loaded among those holding replicas of the task's blocks —
@@ -29,6 +32,7 @@ from ..core.config import AdaptDBConfig
 from ..core.optimizer import JoinDecision, QueryPlan
 from ..core.planner import JoinMethod
 from ..join.hyperjoin import HyperJoinPlan, plan_hyper_join
+from ..join.kernels import gather_filtered_keys, hash_partition
 from ..storage.catalog import Catalog
 from ..storage.dfs import DistributedFileSystem
 from .tasks import Task, TaskKind, TaskSchedule
@@ -120,7 +124,7 @@ def compile_plan(
         dfs = catalog.get(decision.build_table).dfs
         if decision.method is JoinMethod.SHUFFLE:
             hyper_plans.append(None)
-            _compile_shuffle(new_task, dfs, decision, join_index, cluster)
+            _compile_shuffle(new_task, dfs, plan, decision, join_index, cluster)
         else:
             hyper_plan = decision.hyper_plan
             if hyper_plan is None:
@@ -140,8 +144,8 @@ def compile_plan(
 
 
 def _compile_shuffle(
-    new_task, dfs: DistributedFileSystem, decision: JoinDecision, join_index: int,
-    cluster: Cluster,
+    new_task, dfs: DistributedFileSystem, plan: QueryPlan, decision: JoinDecision,
+    join_index: int, cluster: Cluster,
 ) -> None:
     """Map tasks read and partition each side; reduce tasks join partitions.
 
@@ -149,15 +153,34 @@ def _compile_shuffle(
     per block (writing the partitioned runs and re-reading them) are carried
     by the reduce stage, so the task costs sum to equation (1)'s
     ``CSJ * (blocks(R) + blocks(S))``.
+
+    Reduce tasks are **skew-sized**: the filtered join keys of both sides
+    are hash-partitioned once here and each partition's reduce task carries
+    the run cost in proportion to the rows it will actually receive, instead
+    of an even ``1/num_machines`` share.  This pre-reads the key and
+    predicate columns of every relevant block at compile time (via
+    ``peek_block``, so no I/O is *accounted* — it mirrors what the map tasks
+    will read anyway), which the session's plan cache amortises across
+    repeated templates.  The per-join total is unchanged; only its split
+    across reduce tasks (and therefore the makespan under skew) moves.  When
+    no row survives the predicates the even split is kept so empty shuffles
+    still charge equation (1).
     """
     cost_model = cluster.cost_model
     num_machines = cluster.num_machines
     side_blocks: dict[str, int] = {}
+    partition_rows = np.zeros(num_machines, dtype=np.int64)
     for side, table, block_ids in (
         ("build", decision.build_table, decision.build_blocks),
         ("probe", decision.probe_table, decision.probe_blocks),
     ):
-        non_empty = [b for b in block_ids if dfs.peek_block(b).num_rows > 0]
+        peeked = [dfs.peek_block(b) for b in block_ids]
+        non_empty_pairs = [
+            (block_id, block)
+            for block_id, block in zip(block_ids, peeked)
+            if block.num_rows > 0
+        ]
+        non_empty = [block_id for block_id, _block in non_empty_pairs]
         side_blocks[side] = len(non_empty)
         for bucket in bucket_blocks_by_replica(dfs, non_empty, num_machines).values():
             new_task(
@@ -169,18 +192,33 @@ def _compile_shuffle(
                 side=side,
                 replica_hints=replica_hints(dfs, bucket),
             )
+        keys = gather_filtered_keys(
+            (block for _block_id, block in non_empty_pairs),
+            decision.clause.column_for(table),
+            plan.query.predicates_on(table),
+        )
+        if len(keys):
+            partition_rows += np.bincount(
+                hash_partition(keys, num_machines), minlength=num_machines
+            )
 
     total_blocks = side_blocks["build"] + side_blocks["probe"]
     if total_blocks == 0:
         return
-    run_cost = (cost_model.shuffle_factor - 1.0) * total_blocks / num_machines
+    run_total = (cost_model.shuffle_factor - 1.0) * total_blocks
+    total_rows = int(partition_rows.sum())
     for partition in range(num_machines):
+        if total_rows > 0:
+            run_cost = run_total * (int(partition_rows[partition]) / total_rows)
+        else:
+            run_cost = run_total / num_machines
         new_task(
             kind=TaskKind.SHUFFLE_REDUCE,
             cost_units=run_cost,
             join_index=join_index,
             partition_index=partition,
             stage=1,
+            input_rows=int(partition_rows[partition]),
         )
 
 

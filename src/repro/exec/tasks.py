@@ -43,6 +43,9 @@ class Task:
             every stage 0 task finished.
         replica_hints: Machine id -> how many of the task's blocks have a
             replica there.  The scheduler's locality signal.
+        input_rows: Rows the task is sized from, when known — for shuffle
+            reduce tasks, the actual per-partition row count gathered at
+            compile time (the skew signal behind ``cost_units``).
     """
 
     task_id: int
@@ -57,6 +60,7 @@ class Task:
     group_index: int | None = None
     stage: int = 0
     replica_hints: dict[int, int] = field(default_factory=dict)
+    input_rows: int | None = None
 
     @property
     def read_block_ids(self) -> tuple[int, ...]:
@@ -128,7 +132,12 @@ class TaskSchedule:
 
     @property
     def locality_fraction(self) -> float:
-        """Fraction of scheduled block reads served from a local replica."""
+        """Fraction of scheduled block reads served from a local replica.
+
+        An empty schedule (a query whose relevant-block set is empty) reads
+        nothing, so the fraction is defined as 0.0 — no read was local —
+        while :attr:`straggler_factor` stays 1.0 (nobody straggled).
+        """
         local = 0
         total = 0
         for machine_id, placed in self.assignments.items():
@@ -137,5 +146,5 @@ class TaskSchedule:
                 total += blocks
                 local += min(blocks, task.local_blocks_on(machine_id))
         if total == 0:
-            return 1.0
+            return 0.0
         return local / total

@@ -21,7 +21,7 @@ from ..common.rng import derive_rng, make_rng
 from ..core.config import AdaptDBConfig
 from ..workloads.tpch import TPCHGenerator
 from ..workloads.tpch_queries import tables_for_templates, tpch_query
-from .harness import ExperimentResult, runtime_seconds
+from .harness import ExperimentResult, backend_for_runtime_model, runtime_seconds
 
 #: The join templates shown in Figure 12 (q6 has no join and is excluded).
 FIGURE12_TEMPLATES = ["q3", "q5", "q8", "q10", "q12", "q14", "q19"]
@@ -60,14 +60,19 @@ def run(
         measured_queries: Queries averaged for the reported runtime.
         templates: Subset of templates to run (defaults to all seven).
         seed: Seed controlling data generation and query parameters.
-        runtime_model: ``"serial"`` (the paper's model, default) or
-            ``"makespan"`` (the task schedule's completion time).
+        runtime_model: ``"serial"`` (the paper's model, default),
+            ``"makespan"`` (the task schedule's completion time), or
+            ``"simulated"`` (the discrete-event simulator's completion
+            time, barriers and queueing included).
     """
     templates = templates or list(FIGURE12_TEMPLATES)
     root_rng = make_rng(seed)
     table_names = tables_for_templates(templates)
     tables = list(TPCHGenerator(scale=scale, seed=seed).generate(table_names).values())
-    config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
+    config = AdaptDBConfig(
+        rows_per_block=rows_per_block, buffer_blocks=8, seed=seed,
+        execution_backend=backend_for_runtime_model(runtime_model),
+    )
 
     per_system: dict[str, list[float]] = {system: [] for system in FIGURE12_SYSTEMS}
 

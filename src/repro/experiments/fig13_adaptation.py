@@ -22,7 +22,7 @@ from ..core.config import AdaptDBConfig
 from ..workloads.generators import shifting_workload, switching_workload
 from ..workloads.tpch import TPCHGenerator
 from ..workloads.tpch_queries import EVALUATED_TEMPLATES, tables_for_templates
-from .harness import ExperimentResult, runtime_series
+from .harness import ExperimentResult, backend_for_runtime_model, runtime_series
 
 #: Systems compared in Figure 13, in legend order.
 FIGURE13_SYSTEMS = ["Full Scan", "Repartitioning", "AdaptDB"]
@@ -85,7 +85,8 @@ def run_switching(
     the simulation quick; pass ``queries_per_template=20`` and the full
     template list for the paper-sized 160-query run.  ``runtime_model``
     selects the reported per-query runtime (``"serial"`` — the paper's
-    model, the default — or ``"makespan"``).
+    model, the default — ``"makespan"``, or ``"simulated"``, which routes
+    execution through the discrete-event simulator backend).
     """
     templates = templates or list(EVALUATED_TEMPLATES)
     rng = make_rng(seed)
@@ -93,7 +94,10 @@ def run_switching(
         TPCHGenerator(scale=scale, seed=seed).generate(tables_for_templates(templates)).values()
     )
     queries = switching_workload(templates, queries_per_template, rng)
-    config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
+    config = AdaptDBConfig(
+        rows_per_block=rows_per_block, buffer_blocks=8, seed=seed,
+        execution_backend=backend_for_runtime_model(runtime_model),
+    )
     runtimes = _run_systems(tables, queries, config, runtime_model)
     result = _build_result(
         "fig13a", "Execution time for the switching workload on TPC-H", runtimes
@@ -121,7 +125,10 @@ def run_shifting(
         TPCHGenerator(scale=scale, seed=seed).generate(tables_for_templates(templates)).values()
     )
     queries = shifting_workload(templates, transition_length, rng)
-    config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
+    config = AdaptDBConfig(
+        rows_per_block=rows_per_block, buffer_blocks=8, seed=seed,
+        execution_backend=backend_for_runtime_model(runtime_model),
+    )
     runtimes = _run_systems(tables, queries, config, runtime_model)
     result = _build_result(
         "fig13b", "Execution time for the shifting workload on TPC-H", runtimes

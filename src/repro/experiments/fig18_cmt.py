@@ -19,7 +19,7 @@ from ..baselines.full_repartitioning import FullRepartitioningBaseline
 from ..baselines.runners import AdaptDBRunner, FullScanBaseline
 from ..core.config import AdaptDBConfig
 from ..workloads.cmt import CMTGenerator
-from .harness import ExperimentResult, runtime_series
+from .harness import ExperimentResult, backend_for_runtime_model, runtime_series
 
 #: Systems compared in Figure 18, in legend order.
 FIGURE18_SYSTEMS = [
@@ -40,12 +40,16 @@ def run(
     """Reproduce Figure 18: per-query runtime of the four systems on the CMT trace.
 
     ``runtime_model`` selects the reported per-query runtime (``"serial"`` —
-    the paper's model, the default — or ``"makespan"``).
+    the paper's model, the default — ``"makespan"``, or ``"simulated"``,
+    which routes execution through the discrete-event simulator backend).
     """
     generator = CMTGenerator(scale=scale, seed=seed)
     tables = list(generator.generate().values())
     queries = generator.query_trace(num_queries)
-    config = AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
+    config = AdaptDBConfig(
+        rows_per_block=rows_per_block, buffer_blocks=8, seed=seed,
+        execution_backend=backend_for_runtime_model(runtime_model),
+    )
 
     runners = [
         FullScanBaseline(tables, config),

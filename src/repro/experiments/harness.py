@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Runtime models a figure driver can report: the paper's idealised serial
-#: sum spread perfectly over the cluster, or the task schedule's makespan
-#: (what a real cluster waits for, stragglers included).
-RUNTIME_MODELS = ("serial", "makespan")
+#: sum spread perfectly over the cluster, the task schedule's makespan (what
+#: a real cluster waits for, stragglers included), or the discrete-event
+#: simulator's completion time (makespan plus barrier and queueing stalls).
+RUNTIME_MODELS = ("serial", "makespan", "simulated")
 
 
 def runtime_seconds(result, runtime_model: str = "serial") -> float:
@@ -24,7 +25,9 @@ def runtime_seconds(result, runtime_model: str = "serial") -> float:
         result: The query result to read.
         runtime_model: ``"serial"`` returns ``runtime_seconds`` (the paper's
             model, the default everywhere so existing figure outputs are
-            unchanged); ``"makespan"`` returns ``makespan_seconds``.
+            unchanged); ``"makespan"`` returns ``makespan_seconds``;
+            ``"simulated"`` returns ``sim_seconds`` (populated only when the
+            query executed through the ``"simulated"`` backend).
 
     Raises:
         ValueError: on an unknown model name.
@@ -35,7 +38,23 @@ def runtime_seconds(result, runtime_model: str = "serial") -> float:
         )
     if runtime_model == "makespan":
         return result.makespan_seconds
+    if runtime_model == "simulated":
+        return result.sim_seconds
     return result.runtime_seconds
+
+
+def backend_for_runtime_model(runtime_model: str) -> str:
+    """The execution backend a figure driver needs for ``runtime_model``.
+
+    ``"simulated"`` requires the simulated backend (it is the only one that
+    populates ``sim_seconds``); the serial and makespan models both read
+    fields the default task backend produces.
+    """
+    if runtime_model not in RUNTIME_MODELS:
+        raise ValueError(
+            f"unknown runtime model {runtime_model!r}; choose from {RUNTIME_MODELS}"
+        )
+    return "simulated" if runtime_model == "simulated" else "tasks"
 
 
 def runtime_series(results, runtime_model: str = "serial") -> list[float]:

@@ -1,0 +1,37 @@
+"""``repro.sim`` — discrete-event cluster simulation.
+
+The third execution model of the reproduction.  Where the serial model sums
+block accesses and the makespan model takes the most-loaded machine, this
+package *plays schedules out* on virtual machines:
+
+* ``repro.sim.simulator`` — the deterministic discrete-event core:
+  per-machine FIFO task queues, shuffle stage barriers, and a bounded
+  repartitioning-bandwidth resource (:class:`ClusterSimulator`);
+* ``repro.sim.backend``   — :class:`SimBackend`, the
+  ``runtime_model="simulated"`` execution backend selectable through
+  :class:`repro.api.Session`;
+* ``repro.sim.workload``  — closed-loop concurrent-query driver
+  (:func:`run_concurrent_workload`) reporting latency percentiles,
+  queueing delay and machine utilisation under contention.
+"""
+
+from .backend import SimBackend
+from .simulator import ClusterSimulator, JobStats, SimReport, task_dependencies
+from .workload import (
+    QueryTiming,
+    WorkloadReport,
+    background_repartition_schedule,
+    run_concurrent_workload,
+)
+
+__all__ = [
+    "ClusterSimulator",
+    "JobStats",
+    "QueryTiming",
+    "SimBackend",
+    "SimReport",
+    "WorkloadReport",
+    "background_repartition_schedule",
+    "run_concurrent_workload",
+    "task_dependencies",
+]

@@ -80,10 +80,25 @@ class TestScheduler:
         assert ordered == [1, 0]
 
     def test_empty_schedule(self):
+        """A query with an empty relevant-block set compiles to no tasks.
+
+        The edge-case contract: nobody straggled (factor 1.0) and no read
+        was local (fraction 0.0) — neither property may divide by zero.
+        """
         schedule = Scheduler(num_machines=3).schedule([])
         assert schedule.makespan == 0.0
+        assert schedule.total_cost == 0.0
         assert schedule.straggler_factor == 1.0
-        assert schedule.locality_fraction == 1.0
+        assert schedule.locality_fraction == 0.0
+
+    def test_zero_cost_schedule_edge_cases(self):
+        """Tasks may carry zero cost (empty shuffle partitions): no division."""
+        schedule = Scheduler(num_machines=2).schedule(
+            [make_task(0, 0.0), make_task(1, 0.0, kind=TaskKind.SHUFFLE_REDUCE, stage=1)]
+        )
+        assert schedule.makespan == 0.0
+        assert schedule.straggler_factor == 1.0
+        assert schedule.locality_fraction == 0.0
 
 
 class TestBucketing:
@@ -131,6 +146,36 @@ class TestCompilation:
         assert all(
             task.stage == 1 for task in compiled.tasks if task.kind is TaskKind.SHUFFLE_REDUCE
         )
+
+    def test_shuffle_reduce_tasks_sized_from_partition_rows(self, tpch_tables):
+        """Reduce tasks carry the run cost in proportion to actual rows.
+
+        The per-partition row counts are gathered at compile time by
+        hash-partitioning the filtered join keys; the per-join total stays
+        equation (1)'s ``(CSJ - 1) * blocks`` share, only its split moves.
+        """
+        config = AdaptDBConfig(rows_per_block=512, force_join_method="shuffle", seed=1)
+        db = AdaptDB(config)
+        for name in ("lineitem", "orders"):
+            db.load_table(tpch_tables[name])
+        plan = db.plan(join_query("lineitem", "orders", "l_orderkey", "o_orderkey"), adapt=False)
+        compiled = compile_plan(plan, db.catalog, db.cluster, db.config)
+        reduces = [t for t in compiled.tasks if t.kind is TaskKind.SHUFFLE_REDUCE]
+        maps = [t for t in compiled.tasks if t.kind is TaskKind.SHUFFLE_MAP]
+        assert len(reduces) == db.cluster.num_machines
+        map_blocks = sum(len(t.block_ids) for t in maps)
+        run_total = (db.cluster.cost_model.shuffle_factor - 1.0) * map_blocks
+        assert sum(t.cost_units for t in reduces) == pytest.approx(run_total)
+        total_rows = sum(t.input_rows for t in reduces)
+        assert total_rows > 0
+        for task in reduces:
+            assert task.cost_units == pytest.approx(
+                run_total * task.input_rows / total_rows
+            )
+        # TPC-H keys are not perfectly uniform mod num_machines: the sizing
+        # must actually produce a skewed split, not rediscover the even one.
+        costs = [t.cost_units for t in reduces]
+        assert max(costs) > min(costs)
 
     def test_hyper_join_compiles_one_task_per_group(self, tpch_tables):
         config = AdaptDBConfig(rows_per_block=512, force_join_method="hyper", seed=1)
@@ -202,6 +247,21 @@ class TestExecutorAccounting:
         assert sum(result.machine_cost_units) == pytest.approx(result.cost_units)
         assert result.straggler_factor >= 1.0
         assert result.parallel_speedup > 1.0
+
+    def test_empty_relevant_block_set_defines_edge_statistics(self, small_db):
+        """A query whose relevant-block set is empty must not divide by zero."""
+        plan = small_db.plan(scan_query("lineitem"), adapt=False)
+        plan.scan_blocks["lineitem"] = []
+        compiled = compile_plan(plan, small_db.catalog, small_db.cluster, small_db.config)
+        assert compiled.tasks == []
+        schedule = Scheduler(small_db.cluster.num_machines).schedule(compiled.tasks)
+        assert schedule.straggler_factor == 1.0
+        assert schedule.locality_fraction == 0.0
+        result = small_db.executor.execute_schedule(plan, compiled, schedule)
+        assert result.output_rows == 0
+        assert result.blocks_read == 0
+        assert result.makespan_cost_units == 0.0
+        assert result.straggler_factor == 1.0
 
     def test_results_identical_across_runs(self, tpch_tables):
         def run_once():
