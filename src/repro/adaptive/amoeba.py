@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..common.epochs import epoch_keyed
 from ..common.predicates import Predicate
 from ..partitioning.builders import median_cutpoint
 from ..partitioning.tree import TreeNode
@@ -112,7 +113,7 @@ class AmoebaAdaptor:
                 predicates, len(self._predicate_tokens)
             )
             window_predicates.append((token, predicates))
-            for column in {predicate.column for predicate in predicates}:
+            for column in sorted({predicate.column for predicate in predicates}):
                 entries_by_attr.setdefault(column, []).append((token, predicates))
         total_entries = len(window_predicates)
         candidates: list[TransformCandidate] = []
@@ -193,7 +194,9 @@ class AmoebaAdaptor:
         right_id = node.right.block_id
         if left_id is None or right_id is None:
             return 0
-        table.tree(candidate.tree_id).resplit_node(
+        # The paired resplit_leaf_pair call directly below bumps the table's
+        # epoch unconditionally, covering this tree mutation.
+        table.tree(candidate.tree_id).resplit_node(  # repro: allow[epoch-discipline]
             node, candidate.new_attribute, candidate.new_cutpoint
         )
         return table.resplit_leaf_pair(
@@ -240,6 +243,7 @@ class AmoebaAdaptor:
             for token, predicates in relevant
         )
 
+    @epoch_keyed(reads=())
     def _blocks_touched(
         self,
         attribute: str | None,
@@ -267,6 +271,7 @@ class AmoebaAdaptor:
         self._touched_cache[key] = touched
         return touched
 
+    @epoch_keyed(reads=("sample",))
     def _cutpoint_for(
         self,
         table: StoredTable,

@@ -1,0 +1,80 @@
+"""Static analysis for the repro codebase's cross-cutting invariants.
+
+Four checkers enforce contracts that the type system cannot:
+
+* **epoch** — every partition-state mutation reaches ``bump_epoch()``
+  before returning, and nothing outside the storage/partitioning layers
+  writes partition state directly (rules ``epoch-discipline``,
+  ``epoch-direct-write``).
+* **determinism** — the fingerprinted layers use no stdlib/global
+  randomness, no wall clock, and no unstable set iteration (rules
+  ``no-stdlib-random``, ``no-global-numpy-rng``, ``no-wall-clock``,
+  ``unsorted-set-iter``, ``unseeded-rng``).
+* **cache-keys** — ``@epoch_keyed`` functions read only mutable state
+  their key covers (rules ``cache-key-read``, ``cache-key-registration``).
+* **task-purity** — compiled tasks carry ids, never live storage objects
+  (rules ``task-purity-field``, ``task-purity-capture``).
+
+Run ``python -m repro.analysis [paths...]`` (defaults to the installed
+``repro`` package tree) or call :func:`analyze_paths` /
+:func:`analyze_source` programmatically.  Suppress a finding with a
+justified ``# repro: allow[rule-id]`` comment on or above its line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from . import cache_keys, determinism, epoch, purity
+from .framework import (
+    AnalysisContext,
+    Checker,
+    SourceFile,
+    Violation,
+    analyze_files,
+    collect_files,
+)
+
+ALL_CHECKERS: tuple[Checker, ...] = (
+    epoch.CHECKER,
+    determinism.CHECKER,
+    cache_keys.CHECKER,
+    purity.CHECKER,
+)
+
+ALL_RULES: frozenset[str] = frozenset(
+    rule for checker in ALL_CHECKERS for rule in checker.rules
+)
+
+
+def analyze_paths(
+    paths: list[Path], rules: frozenset[str] | None = None
+) -> tuple[list[Violation], int]:
+    """Analyze files/directories; return (violations, files analyzed)."""
+    files = [SourceFile.load(path) for path in collect_files(paths)]
+    return analyze_files(files, ALL_CHECKERS, rules=rules), len(files)
+
+
+def analyze_source(
+    text: str,
+    *,
+    module: str = "repro._snippet",
+    path: str = "<snippet>",
+    rules: frozenset[str] | None = None,
+) -> list[Violation]:
+    """Analyze one in-memory snippet (test fixtures)."""
+    source = SourceFile.from_text(text, path=path, module=module)
+    return analyze_files([source], ALL_CHECKERS, rules=rules)
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ALL_RULES",
+    "AnalysisContext",
+    "Checker",
+    "SourceFile",
+    "Violation",
+    "analyze_files",
+    "analyze_paths",
+    "analyze_source",
+]

@@ -1,0 +1,57 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exits 1 when any checker reports an unsuppressed violation, 0 otherwise
+— this is the same gate CI's ``static-analysis`` job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import ALL_RULES, analyze_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repro invariant checkers over source paths.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules is not None:
+        requested = frozenset(
+            rule.strip() for rule in args.rules.split(",") if rule.strip()
+        )
+        unknown = requested - ALL_RULES
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules: frozenset[str] | None = requested
+    else:
+        rules = None
+
+    paths = list(args.paths) or [Path(__file__).resolve().parents[1]]
+    violations, file_count = analyze_paths(paths, rules=rules)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} violation(s) across {file_count} file(s)")
+        return 1
+    print(f"OK: {file_count} file(s), 0 violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,515 @@
+"""Epoch-discipline checker.
+
+The plan cache and the hyper-plan memo key on table epochs, so every
+partition-state mutation must reach ``bump_epoch()`` before control
+returns to a caller.  Two rules enforce that:
+
+``epoch-discipline``
+    Inside methods of the partition-state owners (``StoredTable``,
+    ``DistributedFileSystem``, ``PartitioningTree``): if a method mutates
+    protected state — by assigning a protected field, calling a mutating
+    container method on one, or calling a ``@mutates_partition_state``
+    helper — then every non-raising exit of the method must have passed
+    through ``bump_epoch()`` (or a method proven to always bump).
+    Methods decorated ``@mutates_partition_state`` are exempt — the
+    obligation moves to their call sites.  Outside the storage and
+    partitioning layers, any call to a registered mutator is flagged
+    directly: other layers must go through the bumping public API.
+
+``epoch-direct-write``
+    No code outside the owning module may assign a protected field
+    directly (``table._tree_rows[x] = ...`` from the optimizer, say).
+    Constructors writing ``self.<field>`` are exempt.
+
+The per-method analysis is a small path-sensitive dataflow over three
+states — no mutation yet, mutated-unbumped, bumped — tracking the *set*
+of possible states per program point.  A bump in a statement wins over a
+mutation in the same statement (``self._epoch += 1`` lives inside
+``bump_epoch`` itself); ``raise`` exits are exempt (failed operations
+surface as exceptions, not stale caches); loops run to a fixpoint; and
+``try`` bodies over-approximate what their handlers may observe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    AnalysisContext,
+    Checker,
+    FunctionNode,
+    SourceFile,
+    Violation,
+    has_decorator,
+)
+
+RULE_DISCIPLINE = "epoch-discipline"
+RULE_DIRECT_WRITE = "epoch-direct-write"
+
+#: Partition-state fields per owning class.  Derived caches that are
+#: recomputed on demand (compiled trees, ``_empty_template``) and pure
+#: accounting (read stats) are deliberately absent.
+STORED_TABLE_FIELDS = frozenset(
+    {
+        "trees",
+        "_block_to_tree",
+        "_next_tree_id",
+        "_block_rows",
+        "_tree_rows",
+        "_tree_blocks",
+        "_non_empty",
+        "_total_rows",
+        "_epoch",
+    }
+)
+DFS_FIELDS = frozenset({"_blocks", "_placement", "_table_blocks", "_next_block_id"})
+TREE_FIELDS = frozenset({"attribute", "cutpoint", "left", "right", "block_id", "root"})
+
+PROTECTED_BY_CLASS: dict[str, frozenset[str]] = {
+    "StoredTable": STORED_TABLE_FIELDS,
+    "DistributedFileSystem": DFS_FIELDS,
+    "PartitioningTree": TREE_FIELDS,
+}
+
+#: Modules allowed to write each field group directly (prefix match).
+ALLOWED_WRITERS: tuple[tuple[frozenset[str], tuple[str, ...]], ...] = (
+    (STORED_TABLE_FIELDS, ("repro.storage.table",)),
+    (DFS_FIELDS, ("repro.storage.dfs",)),
+    (TREE_FIELDS, ("repro.partitioning", "repro.storage.table")),
+)
+
+#: Container methods that mutate their receiver in place.
+MUTATING_CONTAINER_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "update",
+        "setdefault",
+        "clear",
+    }
+)
+
+#: Layers that own partition state; mutator calls are legal only here.
+MUTATOR_CALLER_PREFIXES = ("repro.storage", "repro.partitioning", "repro.analysis")
+
+#: Methods never subject to the bump-on-every-path obligation.
+EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "bump_epoch"})
+
+# Possible states at a program point.
+_EMPTY = "no-mutation"
+_MUT = "mutated-unbumped"
+_BUMP = "bumped"
+
+States = frozenset[str]
+
+
+def _self_field(node: ast.expr) -> str | None:
+    """The first attribute off ``self`` in a chain like ``self.f[k].g``."""
+    current: ast.expr = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(current, ast.Attribute)
+            and isinstance(current.value, ast.Name)
+            and current.value.id == "self"
+        ):
+            return current.attr
+        current = current.value
+    return None
+
+
+def _target_field(target: ast.expr) -> str | None:
+    """The ``self`` field a store target writes, if any."""
+    if isinstance(target, ast.Starred):
+        target = target.value
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        return _self_field(target)
+    return None
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    else:
+        yield target
+
+
+def _events(
+    node: ast.AST,
+    fields: frozenset[str],
+    mutator_names: frozenset[str],
+    bump_names: frozenset[str],
+) -> tuple[bool, bool]:
+    """Scan one statement/expression for (bump, mutation) events.
+
+    Nested function/class definitions are skipped — their bodies run
+    later, not here.
+    """
+    bump = False
+    mutate = False
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(current, ast.Call) and isinstance(current.func, ast.Attribute):
+            attr = current.func.attr
+            receiver = current.func.value
+            if (
+                attr in bump_names
+                and isinstance(receiver, ast.Name)
+                and receiver.id == "self"
+            ):
+                bump = True
+            elif attr in mutator_names:
+                mutate = True
+            elif attr in MUTATING_CONTAINER_METHODS and _self_field(receiver) in fields:
+                mutate = True
+        elif isinstance(current, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                current.targets if isinstance(current, ast.Assign) else [current.target]
+            )
+            for target in targets:
+                for leaf in _flatten_targets(target):
+                    if _target_field(leaf) in fields:
+                        mutate = True
+        elif isinstance(current, ast.Delete):
+            for target in current.targets:
+                if _target_field(target) in fields:
+                    mutate = True
+        stack.extend(ast.iter_child_nodes(current))
+    return bump, mutate
+
+
+class _MethodFlow:
+    """Path-sensitive walk of one method body, collecting exit states."""
+
+    def __init__(
+        self,
+        fields: frozenset[str],
+        mutator_names: frozenset[str],
+        bump_names: frozenset[str],
+    ) -> None:
+        self._fields = fields
+        self._mutators = mutator_names
+        self._bumps = bump_names
+        #: (line, possible states) at each return / fall-off exit.
+        self.exits: list[tuple[int, States]] = []
+
+    def run(self, func: FunctionNode) -> list[tuple[int, States]]:
+        fall, _, _ = self._block(func.body, frozenset({_EMPTY}))
+        if fall:
+            last = func.body[-1]
+            self.exits.append((last.end_lineno or last.lineno, fall))
+        return self.exits
+
+    # ---------------------------------------------------------------- #
+    def _apply(self, node: ast.AST, states: States) -> States:
+        bump, mutate = _events(node, self._fields, self._mutators, self._bumps)
+        if bump:
+            return frozenset({_BUMP})
+        if mutate:
+            return frozenset(_BUMP if state == _BUMP else _MUT for state in states)
+        return states
+
+    def _block(
+        self, stmts: list[ast.stmt], states: States
+    ) -> tuple[States, States, States]:
+        """Run a statement list; return (fall-through, break, continue) states."""
+        breaks: States = frozenset()
+        continues: States = frozenset()
+        current = states
+        for stmt in stmts:
+            if not current:
+                break
+            fall, brk, cont = self._stmt(stmt, current)
+            breaks |= brk
+            continues |= cont
+            current = fall
+        return current, breaks, continues
+
+    def _stmt(self, stmt: ast.stmt, states: States) -> tuple[States, States, States]:
+        empty: States = frozenset()
+        if isinstance(stmt, ast.Return):
+            self.exits.append((stmt.lineno, self._apply(stmt, states)))
+            return empty, empty, empty
+        if isinstance(stmt, ast.Raise):
+            return empty, empty, empty
+        if isinstance(stmt, ast.Break):
+            return empty, states, empty
+        if isinstance(stmt, ast.Continue):
+            return empty, empty, states
+        if isinstance(stmt, ast.If):
+            after_test = self._apply(stmt.test, states)
+            then_fall, then_brk, then_cont = self._block(stmt.body, after_test)
+            else_fall, else_brk, else_cont = self._block(stmt.orelse, after_test)
+            return (
+                then_fall | else_fall,
+                then_brk | else_brk,
+                then_cont | else_cont,
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head: ast.AST = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+            in_states = states
+            while True:
+                at_head = self._apply(head, in_states)
+                body_fall, body_brk, body_cont = self._block(stmt.body, at_head)
+                widened = states | body_fall | body_cont
+                if widened == in_states:
+                    break
+                in_states = widened
+            else_fall, else_brk, else_cont = self._block(stmt.orelse, at_head)
+            return else_fall | body_brk, else_brk, else_cont
+        if isinstance(stmt, ast.Try):
+            body_fall, breaks, continues = self._block(stmt.body, states)
+            bump, mutate = _events_in_block(
+                stmt.body, self._fields, self._mutators, self._bumps
+            )
+            handler_in = states | body_fall
+            if mutate:
+                handler_in |= frozenset({_MUT})
+            if bump:
+                handler_in |= frozenset({_BUMP})
+            handler_falls: States = frozenset()
+            for handler in stmt.handlers:
+                fall, brk, cont = self._block(handler.body, handler_in)
+                handler_falls |= fall
+                breaks |= brk
+                continues |= cont
+            else_fall, else_brk, else_cont = self._block(stmt.orelse, body_fall)
+            breaks |= else_brk
+            continues |= else_cont
+            before_final = else_fall | handler_falls
+            if stmt.finalbody:
+                final_fall, final_brk, final_cont = self._block(
+                    stmt.finalbody, before_final
+                )
+                return final_fall, breaks | final_brk, continues | final_cont
+            return before_final, breaks, continues
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current = states
+            for item in stmt.items:
+                current = self._apply(item.context_expr, current)
+            return self._block(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            after_subject = self._apply(stmt.subject, states)
+            match_fall = after_subject  # conservatively: no case may match
+            match_breaks: States = frozenset()
+            match_continues: States = frozenset()
+            for case in stmt.cases:
+                case_fall, case_brk, case_cont = self._block(case.body, after_subject)
+                match_fall |= case_fall
+                match_breaks |= case_brk
+                match_continues |= case_cont
+            return match_fall, match_breaks, match_continues
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return states, frozenset(), frozenset()
+        return self._apply(stmt, states), frozenset(), frozenset()
+
+
+def _events_in_block(
+    stmts: list[ast.stmt],
+    fields: frozenset[str],
+    mutator_names: frozenset[str],
+    bump_names: frozenset[str],
+) -> tuple[bool, bool]:
+    bump = False
+    mutate = False
+    for stmt in stmts:
+        stmt_bump, stmt_mutate = _events(stmt, fields, mutator_names, bump_names)
+        bump = bump or stmt_bump
+        mutate = mutate or stmt_mutate
+    return bump, mutate
+
+
+def _class_methods(class_node: ast.ClassDef) -> list[FunctionNode]:
+    return [
+        node
+        for node in class_node.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _always_bumps(
+    class_node: ast.ClassDef, fields: frozenset[str], mutator_names: frozenset[str]
+) -> frozenset[str]:
+    """Method names proven to bump on every non-raising exit (fixpoint)."""
+    proven: set[str] = set()
+    methods = _class_methods(class_node)
+    while True:
+        changed = False
+        for method in methods:
+            if method.name in proven or method.name in EXEMPT_METHODS:
+                continue
+            bump_names = frozenset({"bump_epoch"}) | frozenset(proven)
+            flow = _MethodFlow(fields, mutator_names, bump_names)
+            exits = flow.run(method)
+            if exits and all(states == frozenset({_BUMP}) for _, states in exits):
+                proven.add(method.name)
+                changed = True
+        if not changed:
+            return frozenset(proven)
+
+
+def _check_owner_classes(
+    source: SourceFile, context: AnalysisContext
+) -> list[Violation]:
+    violations: list[Violation] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef) or node.name not in PROTECTED_BY_CLASS:
+            continue
+        fields = PROTECTED_BY_CLASS[node.name]
+        bump_names = frozenset({"bump_epoch"}) | _always_bumps(
+            node, fields, context.mutator_names
+        )
+        for method in _class_methods(node):
+            if method.name in EXEMPT_METHODS:
+                continue
+            if has_decorator(method, "mutates_partition_state"):
+                continue
+            flow = _MethodFlow(fields, context.mutator_names, bump_names)
+            for line, states in flow.run(method):
+                if _MUT in states:
+                    violations.append(
+                        Violation(
+                            rule=RULE_DISCIPLINE,
+                            path=source.path,
+                            line=method.lineno,
+                            message=(
+                                f"{node.name}.{method.name} can exit (line {line}) "
+                                "with partition state mutated but the epoch not "
+                                "bumped"
+                            ),
+                            hint=(
+                                "call self.bump_epoch() on every mutating path, "
+                                "or mark the method @mutates_partition_state and "
+                                "bump at its call sites"
+                            ),
+                        )
+                    )
+                    break
+    return violations
+
+
+def _check_external_mutator_calls(
+    source: SourceFile, context: AnalysisContext
+) -> list[Violation]:
+    if source.module.startswith(MUTATOR_CALLER_PREFIXES):
+        return []
+    violations: list[Violation] = []
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in context.mutator_names
+        ):
+            violations.append(
+                Violation(
+                    rule=RULE_DISCIPLINE,
+                    path=source.path,
+                    line=node.lineno,
+                    message=(
+                        f"call to partition-state mutator .{node.func.attr}() "
+                        "outside the storage/partitioning layers"
+                    ),
+                    hint=(
+                        "go through a StoredTable method that bumps the epoch, "
+                        "or suppress with a justification if a bumping call "
+                        "provably follows"
+                    ),
+                )
+            )
+    return violations
+
+
+def _field_of_store_target(target: ast.expr) -> str | None:
+    """The attribute a store/delete target ultimately writes, any receiver."""
+    if isinstance(target, ast.Starred):
+        target = target.value
+    current: ast.expr = target
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    if isinstance(current, ast.Attribute):
+        return current.attr
+    return None
+
+
+def _enclosing_constructors(tree: ast.Module) -> set[int]:
+    """Line spans (as a set of lines) covered by ``__init__``-like methods."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in {"__init__", "__post_init__"}
+            and node.end_lineno is not None
+        ):
+            lines.update(range(node.lineno, node.end_lineno + 1))
+    return lines
+
+
+def _check_direct_writes(source: SourceFile, context: AnalysisContext) -> list[Violation]:
+    violations: list[Violation] = []
+    constructor_lines: set[int] | None = None
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            raw_targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            targets = [
+                leaf for target in raw_targets for leaf in _flatten_targets(target)
+            ]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        else:
+            continue
+        for target in targets:
+            field = _field_of_store_target(target)
+            if field is None:
+                continue
+            for fields, writers in ALLOWED_WRITERS:
+                if field not in fields:
+                    continue
+                if source.module.startswith(writers):
+                    continue
+                is_self = (
+                    _target_field(target) == field
+                )  # write through ``self``
+                if is_self:
+                    if constructor_lines is None:
+                        constructor_lines = _enclosing_constructors(source.tree)
+                    if node.lineno in constructor_lines:
+                        continue
+                violations.append(
+                    Violation(
+                        rule=RULE_DIRECT_WRITE,
+                        path=source.path,
+                        line=node.lineno,
+                        message=(
+                            f"direct write to partition-state field .{field} "
+                            "outside its owning module"
+                        ),
+                        hint="use the owning class's mutating API so the epoch bumps",
+                    )
+                )
+    return violations
+
+
+def check(source: SourceFile, context: AnalysisContext) -> list[Violation]:
+    violations = _check_owner_classes(source, context)
+    violations.extend(_check_external_mutator_calls(source, context))
+    violations.extend(_check_direct_writes(source, context))
+    return violations
+
+
+CHECKER = Checker(
+    name="epoch",
+    rules=(RULE_DISCIPLINE, RULE_DIRECT_WRITE),
+    check=check,
+)

@@ -1,0 +1,297 @@
+"""Shared machinery for the ``repro.analysis`` static checkers.
+
+The checkers are plain functions over parsed source files; this module
+owns everything they share so each checker file is only its rule logic:
+
+* :class:`Violation` — one finding, with file:line and a fix hint.
+* :class:`SourceFile` — a parsed file plus its suppression comments.
+* :class:`AnalysisContext` — cross-file facts gathered in one pre-pass
+  (registered mutators, ``@epoch_keyed`` registrations, return
+  annotations), so individual checkers stay single-file visitors.
+* :class:`Checker` — name + rule ids + a check callable; the registry in
+  ``repro.analysis.__init__`` is just a tuple of these.
+
+Suppressions: a comment ``# repro: allow[rule-id]`` (comma-separated ids
+allowed) silences those rules on its own line and on the following line,
+so both trailing comments and a comment directly above the offending
+statement work.  Suppressions are meant to carry a justification in the
+surrounding comment text.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Comment syntax that silences rules: ``# repro: allow[rule-a, rule-b]``.
+SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding of one rule at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """Human-readable one-line form, ``path:line: [rule] message``."""
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text = f"{text} ({self.hint})"
+        return text
+
+
+def _parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed by a comment on that line."""
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            )
+            if rules:
+                line = token.start[0]
+                suppressions[line] = suppressions.get(line, frozenset()) | rules
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse catches first
+        pass
+    return suppressions
+
+
+def module_name_for(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    Looks for the last ``repro`` component and joins from there, so both
+    ``src/repro/exec/tasks.py`` and an installed-layout path map to
+    ``repro.exec.tasks``.  Files outside a ``repro`` tree keep their stem.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return parts[-1] if parts else "<unknown>"
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus the metadata checkers need."""
+
+    path: str
+    module: str
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]]
+
+    @classmethod
+    def from_text(
+        cls, text: str, *, path: str = "<snippet>", module: str = "repro._snippet"
+    ) -> "SourceFile":
+        """Parse in-memory source (test fixtures, snippets)."""
+        return cls(
+            path=path,
+            module=module,
+            text=text,
+            tree=ast.parse(text),
+            suppressions=_parse_suppressions(text),
+        )
+
+    @classmethod
+    def load(cls, file_path: Path) -> "SourceFile":
+        """Parse a file from disk, deriving its module name from the path."""
+        text = file_path.read_text(encoding="utf-8")
+        return cls(
+            path=str(file_path),
+            module=module_name_for(file_path),
+            text=text,
+            tree=ast.parse(text, filename=str(file_path)),
+            suppressions=_parse_suppressions(text),
+        )
+
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def iter_functions(
+    tree: ast.AST, _class: str | None = None
+) -> Iterator[tuple[FunctionNode, str | None]]:
+    """Yield every function with the name of its innermost enclosing class.
+
+    Nested functions are yielded too (with the class of the method that
+    contains them); functions inside nested classes report the nested
+    class.
+    """
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, _class
+            yield from iter_functions(node, _class)
+        elif isinstance(node, ast.ClassDef):
+            yield from iter_functions(node, node.name)
+        elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+            yield from iter_functions(node, _class)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Return ``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def decorator_names(func: FunctionNode) -> list[str]:
+    """Dotted names of a function's decorators (call decorators unwrapped)."""
+    names: list[str] = []
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def has_decorator(func: FunctionNode, name: str) -> bool:
+    """Whether ``func`` carries decorator ``name`` (matched on last segment)."""
+    return any(
+        decorated == name or decorated.endswith(f".{name}")
+        for decorated in decorator_names(func)
+    )
+
+
+def epoch_keyed_decorator(func: FunctionNode) -> tuple[str, ...] | None:
+    """The literal ``reads=(...)`` of an ``@epoch_keyed`` decorator, if any.
+
+    Returns ``None`` when the function is not decorated; an unparseable
+    ``reads`` argument yields ``()`` (treat as "declares nothing").
+    """
+    for decorator in func.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None or name.split(".")[-1] != "epoch_keyed":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg != "reads":
+                continue
+            value = keyword.value
+            if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                reads = []
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        reads.append(element.value)
+                return tuple(reads)
+            return ()
+        return ()
+    return None
+
+
+@dataclass
+class AnalysisContext:
+    """Cross-file facts shared by all checkers, built in one pre-pass."""
+
+    files: list[SourceFile] = field(default_factory=list)
+    #: Method names decorated ``@mutates_partition_state`` anywhere.
+    mutator_names: frozenset[str] = frozenset()
+    #: ``(module, qualname) -> declared reads`` for ``@epoch_keyed`` functions.
+    epoch_keyed: dict[tuple[str, str], tuple[str, ...]] = field(default_factory=dict)
+    #: Function name -> return annotation node (last definition wins).
+    return_annotations: dict[str, ast.expr] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, files: list[SourceFile]) -> "AnalysisContext":
+        mutators: set[str] = set()
+        epoch_keyed: dict[tuple[str, str], tuple[str, ...]] = {}
+        returns: dict[str, ast.expr] = {}
+        for source in files:
+            for func, class_name in iter_functions(source.tree):
+                if has_decorator(func, "mutates_partition_state"):
+                    mutators.add(func.name)
+                reads = epoch_keyed_decorator(func)
+                if reads is not None:
+                    qualname = f"{class_name}.{func.name}" if class_name else func.name
+                    epoch_keyed[(source.module, qualname)] = reads
+                if func.returns is not None:
+                    returns[func.name] = func.returns
+        return cls(
+            files=files,
+            mutator_names=frozenset(mutators),
+            epoch_keyed=epoch_keyed,
+            return_annotations=returns,
+        )
+
+
+CheckFunction = Callable[[SourceFile, AnalysisContext], list[Violation]]
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A named checker: rule ids plus the function that applies them."""
+
+    name: str
+    rules: tuple[str, ...]
+    check: CheckFunction
+
+
+def is_suppressed(violation: Violation, source: SourceFile) -> bool:
+    """Whether a suppression comment covers ``violation``.
+
+    A comment on line ``L`` covers violations on ``L`` (trailing comment)
+    and ``L + 1`` (comment on its own line above the statement).
+    """
+    for line in (violation.line, violation.line - 1):
+        if violation.rule in source.suppressions.get(line, frozenset()):
+            return True
+    return False
+
+
+def analyze_files(
+    files: list[SourceFile],
+    checkers: Iterable[Checker],
+    rules: frozenset[str] | None = None,
+) -> list[Violation]:
+    """Run ``checkers`` over ``files``, filter suppressions, sort findings."""
+    context = AnalysisContext.build(files)
+    violations: list[Violation] = []
+    for source in files:
+        for checker in checkers:
+            if rules is not None and not (set(checker.rules) & rules):
+                continue
+            for violation in checker.check(source, context):
+                if rules is not None and violation.rule not in rules:
+                    continue
+                if not is_suppressed(violation, source):
+                    violations.append(violation)
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def collect_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand directories to their ``*.py`` files, preserving order."""
+    collected: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        else:
+            collected.append(path)
+    return collected

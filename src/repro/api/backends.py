@@ -20,9 +20,10 @@ parallel-execution accounting the task engine adds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from ..cluster.cluster import Cluster
+from ..common.query import Query
 from ..core.config import AdaptDBConfig
 from ..core.optimizer import JoinDecision
 from ..core.planner import JoinMethod
@@ -33,14 +34,20 @@ from ..join.kernels import batch_matching_count
 from ..join.shuffle import JoinStats, shuffle_join
 from ..storage.catalog import Catalog
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .plans import PhysicalPlan
+
 
 @runtime_checkable
 class ExecutionBackend(Protocol):
     """Anything that can execute a physical plan into a query result."""
 
     name: str
+    #: Whether the backend replays the lowered task schedule; the session
+    #: elides lowering for backends that set this False.
+    consumes_schedule: bool
 
-    def execute(self, physical) -> QueryResult:
+    def execute(self, physical: "PhysicalPlan") -> QueryResult:
         """Run ``physical`` and return the accounted result."""
         ...  # pragma: no cover - protocol definition
 
@@ -63,7 +70,7 @@ class TaskBackend:
             catalog=self.catalog, cluster=self.cluster, config=self.config
         )
 
-    def execute(self, physical) -> QueryResult:
+    def execute(self, physical: "PhysicalPlan") -> QueryResult:
         """Replay the physical plan's compiled schedule through the engine."""
         if physical.schedule_elided:
             # The plan was lowered for a schedule-free backend (e.g. the
@@ -92,7 +99,7 @@ class SerialBackend:
     #: Executes the logical plan directly — the session elides lowering.
     consumes_schedule = False
 
-    def execute(self, physical) -> QueryResult:
+    def execute(self, physical: "PhysicalPlan") -> QueryResult:
         plan = physical.logical
         cost_model = self.cluster.cost_model
         result = QueryResult(query=plan.query)
@@ -126,7 +133,7 @@ class SerialBackend:
         result.runtime_seconds = cost_model.to_seconds(result.cost_units)
         return result
 
-    def _run_join(self, query, decision: JoinDecision) -> JoinStats:
+    def _run_join(self, query: Query, decision: JoinDecision) -> JoinStats:
         dfs = self.catalog.get(decision.build_table).dfs
         build_column = decision.clause.column_for(decision.build_table)
         probe_column = decision.clause.column_for(decision.probe_table)

@@ -22,7 +22,7 @@ without adaptation work, the compiled + scheduled physical skeleton.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..common.lru import BoundedLRU
 from ..common.query import Query
@@ -33,14 +33,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from ..exec.tasks import TaskSchedule
 
 
-def _freeze(value) -> tuple | float | str:
+def _freeze(value: object) -> object:
     """Make a predicate value hashable (IN predicates carry tuples already)."""
     if isinstance(value, (list, set)):
         return tuple(value)
     return value
 
 
-def query_signature(query: Query) -> tuple:
+def query_signature(query: Query) -> tuple[object, ...]:
     """Structural digest of a query, stable across query ids and labels.
 
     Predicates are sorted so that two queries carrying the same predicate
@@ -52,14 +52,15 @@ def query_signature(query: Query) -> tuple:
         (clause.left_table, clause.left_column, clause.right_table, clause.right_column)
         for clause in query.joins
     )
-    predicates = tuple(
-        sorted(
-            (table, predicate.column, predicate.op.value,
-             _freeze(predicate.value), predicate.high)
-            for table, table_predicates in query.predicates.items()
-            for predicate in table_predicates
-        )
-    )
+    # list[Any] so sorted() accepts the heterogeneous-but-comparable tuples;
+    # the runtime ordering (and therefore the key content) is unchanged.
+    entries: list[Any] = [
+        (table, predicate.column, predicate.op.value,
+         _freeze(predicate.value), predicate.high)
+        for table, table_predicates in query.predicates.items()
+        for predicate in table_predicates
+    ]
+    predicates = tuple(sorted(entries))
     return (tuple(query.tables), joins, predicates)
 
 
@@ -79,5 +80,5 @@ class CachedPlan:
     schedule: "TaskSchedule | None" = None
 
 
-class PlanCache(BoundedLRU):
+class PlanCache(BoundedLRU[tuple[object, ...], CachedPlan]):
     """A bounded LRU from ``(signature, epochs)`` keys to :class:`CachedPlan`."""

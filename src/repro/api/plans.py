@@ -49,8 +49,8 @@ class LogicalPlan(QueryPlan):
             lowered, its physical plan).
     """
 
-    signature: tuple = ()
-    table_epochs: tuple = ()
+    signature: tuple[object, ...] = ()
+    table_epochs: tuple[tuple[str, int], ...] = ()
     from_cache: bool = False
     planning_seconds: float = 0.0
     cache_entry: CachedPlan | None = field(default=None, repr=False, compare=False)

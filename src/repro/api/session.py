@@ -48,6 +48,7 @@ from ..common.query import Query
 from ..common.rng import derive_rng, make_rng
 from ..core.config import AdaptDBConfig
 from ..core.optimizer import Optimizer
+from ..exec.engine import Executor
 from ..exec.result import QueryResult
 from ..exec.scheduler import Scheduler, compile_plan
 from ..join.hyperjoin import HyperPlanCache
@@ -151,10 +152,20 @@ class Session:
         self.backend = backend
         return backend
 
+    def _active_backend(self) -> ExecutionBackend:
+        """The selected backend, guaranteed resolved to an instance."""
+        backend = self.backend
+        if not isinstance(backend, ExecutionBackend):
+            raise PlanningError("no execution backend selected")
+        return backend
+
     @property
-    def executor(self):
+    def executor(self) -> Executor:
         """The task engine's executor (compat with the pre-session API)."""
-        return self.backends["tasks"].executor
+        executor = getattr(self.backends["tasks"], "executor", None)
+        if not isinstance(executor, Executor):
+            raise PlanningError("the 'tasks' backend exposes no executor")
+        return executor
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -206,7 +217,7 @@ class Session:
     # ------------------------------------------------------------------ #
     # Stage 1: Query -> LogicalPlan
     # ------------------------------------------------------------------ #
-    def table_epochs(self, query: Query) -> tuple:
+    def table_epochs(self, query: Query) -> tuple[tuple[str, int], ...]:
         """Current ``(table, epoch)`` pairs for every table the query reads."""
         return tuple(
             (name, self.catalog.get(name).epoch)
@@ -282,7 +293,8 @@ class Session:
             return physical
         entry = logical.cache_entry
         clean = logical.adaptation.blocks_repartitioned == 0
-        if entry is not None and entry.compiled is not None and clean:
+        if (entry is not None and entry.compiled is not None
+                and entry.schedule is not None and clean):
             physical = PhysicalPlan(
                 logical=logical,
                 compiled=entry.compiled,
@@ -309,7 +321,7 @@ class Session:
         every execution, so they always describe exactly one query.
         """
         self.dfs.reset_read_stats()
-        result = self.backend.execute(physical)
+        result = self._active_backend().execute(physical)
         result.planning_seconds = physical.logical.planning_seconds
         result.plan_cache_hit = physical.logical.from_cache
         return result

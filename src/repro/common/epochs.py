@@ -1,0 +1,76 @@
+"""Markers that make the epoch/caching contract machine-checkable.
+
+The plan cache and the hyper-plan memo are sound only because every
+partition-state mutation bumps the owning table's epoch.  That contract
+used to live in docstrings; this module turns it into two lightweight
+decorators that ``repro.analysis`` (and code reviewers) can key off:
+
+``@mutates_partition_state``
+    Marks a helper method that writes partition state on behalf of its
+    callers.  The helper itself is exempt from the bump-on-every-path
+    rule, but every *call site* of a marked method counts as a mutation
+    and must therefore reach ``bump_epoch()``.
+
+``@epoch_keyed(reads=(...))``
+    Marks a function whose result is cached under an epoch-derived key.
+    ``reads`` declares which mutable table/tree attributes the function
+    is allowed to touch — anything it reads must either be immutable or
+    covered by the epoch in its cache key.  The static checker rejects
+    reads outside the declared set.
+
+Both decorators only attach attributes; they add no call overhead and
+import nothing from the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+#: Attribute set on functions wrapped by :func:`mutates_partition_state`.
+MUTATOR_ATTR = "__repro_mutates_partition_state__"
+
+#: Attribute set on functions wrapped by :func:`epoch_keyed`.
+EPOCH_KEYED_ATTR = "__repro_epoch_keyed_reads__"
+
+
+def mutates_partition_state(func: F) -> F:
+    """Mark ``func`` as a partition-state mutator.
+
+    Call sites of the decorated method are treated as mutations by the
+    epoch-discipline checker: the calling method must bump the table
+    epoch on every path (or be a marked mutator itself).
+    """
+    setattr(func, MUTATOR_ATTR, True)
+    return func
+
+
+def epoch_keyed(*, reads: tuple[str, ...] = ()) -> Callable[[F], F]:
+    """Mark ``func`` as cached under an epoch-derived key.
+
+    Args:
+        reads: Mutable table/tree attribute names the function's cache
+            key covers (because the key embeds the owning table's epoch,
+            which is bumped whenever those attributes change).  Reads of
+            mutable attributes outside this set are cache-key violations.
+    """
+
+    def decorate(func: F) -> F:
+        setattr(func, EPOCH_KEYED_ATTR, tuple(reads))
+        return func
+
+    return decorate
+
+
+def is_partition_mutator(func: object) -> bool:
+    """Whether ``func`` was marked with :func:`mutates_partition_state`."""
+    return bool(getattr(func, MUTATOR_ATTR, False))
+
+
+def epoch_keyed_reads(func: object) -> tuple[str, ...] | None:
+    """The declared ``reads`` of an epoch-keyed function, or ``None``."""
+    reads = getattr(func, EPOCH_KEYED_ATTR, None)
+    if reads is None:
+        return None
+    return tuple(reads)

@@ -8,22 +8,33 @@ the recency/eviction/statistics mechanics exist exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from .errors import PlanningError
+
+K = TypeVar("K")
+V = TypeVar("V")
 
 
 @dataclass
-class BoundedLRU:
+class BoundedLRU(Generic[K, V]):
     """A dict bounded to ``capacity`` entries with least-recently-used eviction.
 
     Attributes:
         capacity: Maximum number of entries; ``0`` disables storage (every
             ``get`` misses, ``put`` is a no-op).
         hits / misses: Lookup counters since construction.
+
+    Keys must be hashable; a non-hashable key (a cache-key builder leaking
+    a list or dict) raises :class:`~repro.common.errors.PlanningError`
+    rather than a bare ``TypeError``, so cache misuse is reported in the
+    library's own vocabulary.
     """
 
     capacity: int = 64
     hits: int = 0
     misses: int = 0
-    _entries: dict = field(default_factory=dict, repr=False)
+    _entries: dict[K, V] = field(default_factory=dict, repr=False)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -39,8 +50,18 @@ class BoundedLRU:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
-    def get(self, key):
+    @staticmethod
+    def _check_key(key: K) -> None:
+        # dict.pop(key, default) short-circuits on an empty dict without
+        # hashing, so hash explicitly to reject bad keys deterministically.
+        try:
+            hash(key)
+        except TypeError as exc:
+            raise PlanningError(f"cache key is not hashable: {exc}") from exc
+
+    def get(self, key: K) -> V | None:
         """Return the value for ``key`` (refreshing its recency) or ``None``."""
+        self._check_key(key)
         value = self._entries.pop(key, None)
         if value is None:
             self.misses += 1
@@ -49,10 +70,11 @@ class BoundedLRU:
         self.hits += 1
         return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: K, value: V) -> None:
         """Insert ``value`` under ``key``, evicting least-recently-used entries."""
         if self.capacity <= 0:
             return
+        self._check_key(key)
         self._entries.pop(key, None)
         while len(self._entries) >= self.capacity:
             self._entries.pop(next(iter(self._entries)))

@@ -16,8 +16,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .errors import PlanningError
 
@@ -49,7 +51,7 @@ class Predicate:
 
     column: str
     op: Operator
-    value: float
+    value: float | tuple[float, ...]
     high: float | None = None
 
     def __post_init__(self) -> None:
@@ -69,47 +71,52 @@ class Predicate:
         """
         if math.isnan(lo) or math.isnan(hi):
             return True
+        if self.op is Operator.IN:
+            assert isinstance(self.value, tuple)
+            return any(lo <= v <= hi for v in self.value)
+        value = self.value
+        assert not isinstance(value, tuple)  # only IN carries a tuple
         if self.op is Operator.EQ:
-            return lo <= self.value <= hi
+            return lo <= value <= hi
         if self.op is Operator.NE:
-            return not (lo == hi == self.value)
+            return not (lo == hi == value)
         if self.op is Operator.LT:
-            return lo < self.value
+            return lo < value
         if self.op is Operator.LE:
-            return lo <= self.value
+            return lo <= value
         if self.op is Operator.GT:
-            return hi > self.value
+            return hi > value
         if self.op is Operator.GE:
-            return hi >= self.value
+            return hi >= value
         if self.op is Operator.BETWEEN:
             assert self.high is not None
-            return not (hi < self.value or lo > self.high)
-        if self.op is Operator.IN:
-            return any(lo <= v <= hi for v in self.value)
+            return not (hi < value or lo > self.high)
         raise PlanningError(f"unsupported operator {self.op}")
 
     # ------------------------------------------------------------------ #
     # Row-level filtering
     # ------------------------------------------------------------------ #
-    def mask(self, values: np.ndarray) -> np.ndarray:
+    def mask(self, values: NDArray[Any]) -> NDArray[np.bool_]:
         """Return a boolean mask of rows in ``values`` satisfying the predicate."""
-        if self.op is Operator.EQ:
-            return values == self.value
-        if self.op is Operator.NE:
-            return values != self.value
-        if self.op is Operator.LT:
-            return values < self.value
-        if self.op is Operator.LE:
-            return values <= self.value
-        if self.op is Operator.GT:
-            return values > self.value
-        if self.op is Operator.GE:
-            return values >= self.value
-        if self.op is Operator.BETWEEN:
-            assert self.high is not None
-            return (values >= self.value) & (values <= self.high)
         if self.op is Operator.IN:
             return np.isin(values, np.asarray(self.value))
+        value = self.value
+        assert not isinstance(value, tuple)  # only IN carries a tuple
+        if self.op is Operator.EQ:
+            return np.asarray(values == value, dtype=bool)
+        if self.op is Operator.NE:
+            return np.asarray(values != value, dtype=bool)
+        if self.op is Operator.LT:
+            return np.asarray(values < value, dtype=bool)
+        if self.op is Operator.LE:
+            return np.asarray(values <= value, dtype=bool)
+        if self.op is Operator.GT:
+            return np.asarray(values > value, dtype=bool)
+        if self.op is Operator.GE:
+            return np.asarray(values >= value, dtype=bool)
+        if self.op is Operator.BETWEEN:
+            assert self.high is not None
+            return np.asarray((values >= value) & (values <= self.high), dtype=bool)
         raise PlanningError(f"unsupported operator {self.op}")
 
     def __str__(self) -> str:  # pragma: no cover - debugging helper
@@ -120,7 +127,9 @@ class Predicate:
         return f"{self.column} {self.op.value} {self.value}"
 
 
-def rows_matching(columns: dict[str, np.ndarray], predicates: list[Predicate]) -> np.ndarray:
+def rows_matching(
+    columns: dict[str, NDArray[Any]], predicates: list[Predicate]
+) -> NDArray[np.bool_]:
     """Return a boolean mask selecting rows of ``columns`` matching all ``predicates``.
 
     An empty predicate list matches every row.

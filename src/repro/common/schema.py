@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .errors import SchemaError
 
@@ -26,7 +28,7 @@ class DataType(Enum):
     CATEGORY = "category"  # stored as int32 dictionary codes
 
     @property
-    def numpy_dtype(self) -> np.dtype:
+    def numpy_dtype(self) -> np.dtype[Any]:
         """The numpy dtype used to store values of this type."""
         if self is DataType.FLOAT:
             return np.dtype(np.float64)
@@ -88,7 +90,7 @@ class Schema:
         """Return the :class:`DataType` of the column named ``name``."""
         return self.column(name).dtype
 
-    def validate_columns(self, columns: dict[str, np.ndarray]) -> None:
+    def validate_columns(self, columns: dict[str, NDArray[Any]]) -> None:
         """Check that ``columns`` matches this schema exactly.
 
         All arrays must be present, one-dimensional and of equal length.

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..adaptive.repartitioner import AdaptiveRepartitioner, RepartitionReport
 from ..cluster.cluster import Cluster
+from ..common.epochs import epoch_keyed
 from ..common.errors import PlanningError
 from ..common.query import JoinClause, Query
 from ..join.hyperjoin import HyperJoinPlan, HyperPlanCache, plan_hyper_join
@@ -155,6 +156,7 @@ class Optimizer:
             estimated_hyper_cost=hyper_cost,
         )
 
+    @epoch_keyed(reads=("epoch",))
     def _hyper_plan(
         self,
         build_table: str,
@@ -203,6 +205,7 @@ class Optimizer:
     # ------------------------------------------------------------------ #
     # Block relevance
     # ------------------------------------------------------------------ #
+    @epoch_keyed(reads=("lookup", "non_empty_block_ids"))
     def _relevant_blocks(self, table_name: str, query: Query) -> list[int]:
         """Blocks of ``table_name`` that must be read for ``query``.
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster.costmodel import CostModel
+from ..common.epochs import epoch_keyed
 from ..common.errors import PlanningError
 from ..common.lru import BoundedLRU
 from ..common.predicates import Predicate
@@ -50,6 +51,7 @@ class HyperJoinPlan:
         return self.grouping.total_probe_reads
 
 
+@epoch_keyed(reads=("peek_block", "num_rows", "ranges", "range_of"))
 def plan_hyper_join(
     dfs: DistributedFileSystem,
     build_block_ids: list[int],
@@ -141,6 +143,7 @@ class HyperPlanCache:
         """Lookups that had to plan from scratch."""
         return self._cache.misses
 
+    @epoch_keyed(reads=())
     def get_or_plan(
         self,
         dfs: DistributedFileSystem,

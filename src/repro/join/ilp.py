@@ -139,7 +139,9 @@ def ilp_grouping(
     if time_limit_seconds is not None:
         options["time_limit"] = float(time_limit_seconds)
 
-    started = time.perf_counter()
+    # Measured solver wall time is reported on the ILPSolution for operators;
+    # it never feeds a planning decision or a fingerprint.
+    started = time.perf_counter()  # repro: allow[no-wall-clock]
     result = milp(
         c=objective,
         constraints=constraints,
@@ -147,7 +149,7 @@ def ilp_grouping(
         integrality=integrality,
         options=options or None,
     )
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # repro: allow[no-wall-clock]
 
     if result.x is None:
         raise PlanningError(f"ILP solver failed: {result.message}")

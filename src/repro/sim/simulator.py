@@ -286,7 +286,7 @@ class ClusterSimulator:
                 ready_time=self._now,
             )
         for task_id, deps in dependencies.items():
-            for dep in deps:
+            for dep in sorted(deps):
                 sim_tasks[dep].dependents.append(sim_tasks[task_id])
         # Queue in the engine's deterministic execution order: stage, then
         # compilation order (schedule.tasks is already sorted that way).

@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..common.epochs import mutates_partition_state
 from ..common.errors import StorageError
 from ..common.rng import make_rng
 from ..cluster.cluster import Cluster
@@ -62,12 +63,14 @@ class DistributedFileSystem:
     # ------------------------------------------------------------------ #
     # Block lifecycle
     # ------------------------------------------------------------------ #
+    @mutates_partition_state
     def allocate_block_id(self) -> int:
         """Reserve and return a fresh globally unique block id."""
         block_id = self._next_block_id
         self._next_block_id += 1
         return block_id
 
+    @mutates_partition_state
     def put_block(self, block: Block) -> int:
         """Store ``block`` and place its replicas on machines.
 
@@ -87,12 +90,14 @@ class DistributedFileSystem:
             self.cluster.machine(int(machine_id)).stored_blocks.add(block.block_id)
         return block.block_id
 
+    @mutates_partition_state
     def create_block(self, table: str, columns: dict[str, np.ndarray]) -> Block:
         """Allocate an id, build a :class:`Block` for ``table`` and store it."""
         block = Block(block_id=self.allocate_block_id(), table=table, columns=columns)
         self.put_block(block)
         return block
 
+    @mutates_partition_state
     def delete_block(self, block_id: int) -> None:
         """Remove a block and all its replicas."""
         if block_id not in self._blocks:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..common.epochs import mutates_partition_state
 from ..common.errors import PartitioningError, StorageError
 from ..common.predicates import Predicate
 from ..common.schema import Schema
@@ -196,6 +197,7 @@ class StoredTable:
     # ------------------------------------------------------------------ #
     # Statistics cache maintenance
     # ------------------------------------------------------------------ #
+    @mutates_partition_state
     def _register_block(self, block_id: int, tree_id: int, num_rows: int) -> None:
         """Record a freshly created block in the statistics caches."""
         self._block_to_tree[block_id] = tree_id
@@ -206,6 +208,7 @@ class StoredTable:
         if num_rows:
             self._non_empty[tree_id].add(block_id)
 
+    @mutates_partition_state
     def _set_block_rows(self, block_id: int, num_rows: int) -> None:
         """Propagate a block's new row count through the caches."""
         previous = self._block_rows[block_id]
@@ -221,6 +224,7 @@ class StoredTable:
         else:
             self._non_empty[tree_id].discard(block_id)
 
+    @mutates_partition_state
     def _forget_tree(self, tree_id: int) -> None:
         """Drop a tree's cache entries, including its blocks' per-block stats.
 
@@ -442,6 +446,7 @@ class StoredTable:
         stats.target_blocks_touched = len(unique_leaves)
         return stats
 
+    @mutates_partition_state
     def _append_rows(
         self,
         block_id: int,
@@ -453,6 +458,7 @@ class StoredTable:
         block.append_rows(rows, chunk_ranges)
         self._set_block_rows(block_id, block.num_rows)
 
+    @mutates_partition_state
     def _clear_block(self, block_id: int) -> None:
         """Empty a block in place (its rows have been migrated elsewhere)."""
         block = self.dfs.peek_block(block_id)
@@ -505,6 +511,11 @@ class StoredTable:
         ]
         if len(removable) == len(self.trees):
             removable = removable[:-1]
+        if not removable:
+            return []
+        # Bump before mutating: there is no early exit past this point, so
+        # every path that touches the caches has already advanced the epoch.
+        self.bump_epoch()
         removed: list[int] = []
         for tree_id in removable:
             for block_id in self.block_ids(tree_id):
@@ -512,8 +523,6 @@ class StoredTable:
             self._forget_tree(tree_id)
             del self.trees[tree_id]
             removed.append(tree_id)
-        if removed:
-            self.bump_epoch()
         return removed
 
     def replace_with_tree(self, tree: PartitioningTree) -> RepartitionStats:

@@ -69,7 +69,9 @@ class TestQueryExecution:
 
     def test_join_results_stable_under_adaptation(self, small_db, tpch_tables):
         """Adaptation must never change query answers, only their cost."""
-        query_template = lambda: join_query("lineitem", "orders", "l_orderkey", "o_orderkey")
+        def query_template():
+            return join_query("lineitem", "orders", "l_orderkey", "o_orderkey")
+
         expected = reference_join_count(
             tpch_tables["lineitem"], tpch_tables["orders"], "l_orderkey", "o_orderkey"
         )

@@ -1,0 +1,436 @@
+"""Tests for repro.analysis: the AST invariant checkers.
+
+Each rule is exercised twice: a known-bad snippet must fire it, and the
+fixed twin must stay quiet.  The suite ends with the live gates — the
+whole ``src/repro`` tree analyzes clean, and so do the benchmark and
+example scripts for the everywhere-on ``unseeded-rng`` rule.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_CHECKERS, ALL_RULES, analyze_paths, analyze_source
+from repro.common.errors import PlanningError
+from repro.common.lru import BoundedLRU
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+
+def rules_of(violations):
+    return {violation.rule for violation in violations}
+
+
+# --------------------------------------------------------------------- #
+# epoch-discipline
+# --------------------------------------------------------------------- #
+class TestEpochDiscipline:
+    def test_mutation_without_bump_fires(self):
+        violations = analyze_source(
+            """
+class StoredTable:
+    def bump_epoch(self):
+        self._epoch += 1
+
+    def forget(self, tree_id):
+        del self.trees[tree_id]
+        return tree_id
+""",
+            module="repro.storage.table",
+        )
+        assert rules_of(violations) == {"epoch-discipline"}
+        assert "forget" in violations[0].message
+
+    def test_mutation_with_bump_is_quiet(self):
+        violations = analyze_source(
+            """
+class StoredTable:
+    def bump_epoch(self):
+        self._epoch += 1
+
+    def forget(self, tree_id):
+        del self.trees[tree_id]
+        self.bump_epoch()
+        return tree_id
+""",
+            module="repro.storage.table",
+        )
+        assert violations == []
+
+    def test_bump_on_one_branch_only_fires(self):
+        violations = analyze_source(
+            """
+class StoredTable:
+    def bump_epoch(self):
+        self._epoch += 1
+
+    def maybe(self, flag):
+        self.trees.clear()
+        if flag:
+            self.bump_epoch()
+""",
+            module="repro.storage.table",
+        )
+        assert rules_of(violations) == {"epoch-discipline"}
+
+    def test_raising_exit_is_exempt(self):
+        violations = analyze_source(
+            """
+class StoredTable:
+    def bump_epoch(self):
+        self._epoch += 1
+
+    def forget(self, tree_id):
+        if tree_id not in self.trees:
+            raise KeyError(tree_id)
+        del self.trees[tree_id]
+        self.bump_epoch()
+""",
+            module="repro.storage.table",
+        )
+        assert violations == []
+
+    def test_helper_proven_to_always_bump_counts(self):
+        violations = analyze_source(
+            """
+class StoredTable:
+    def bump_epoch(self):
+        self._epoch += 1
+
+    def _commit(self):
+        self.bump_epoch()
+
+    def forget(self, tree_id):
+        del self.trees[tree_id]
+        self._commit()
+""",
+            module="repro.storage.table",
+        )
+        assert violations == []
+
+    def test_marked_mutator_is_exempt_but_external_calls_fire(self):
+        text = """
+from repro.common.epochs import mutates_partition_state
+
+
+class DistributedFileSystem:
+    @mutates_partition_state
+    def delete_block(self, block_id):
+        self._blocks.pop(block_id, None)
+
+
+def rogue(dfs):
+    dfs.delete_block(3)
+"""
+        violations = analyze_source(text, module="repro.exec.rogue")
+        assert rules_of(violations) == {"epoch-discipline"}
+        assert "delete_block" in violations[0].message
+        # The same call is legal inside the storage layer.
+        assert analyze_source(text, module="repro.storage.helpers") == []
+
+
+class TestEpochDirectWrite:
+    def test_foreign_module_write_fires(self):
+        violations = analyze_source(
+            "def f(table):\n    table._tree_rows[3] = 5\n",
+            module="repro.core.opt_snippet",
+        )
+        assert rules_of(violations) == {"epoch-direct-write"}
+
+    def test_owning_module_write_is_quiet(self):
+        violations = analyze_source(
+            "def f(table):\n    table._tree_rows[3] = 5\n",
+            module="repro.storage.table",
+        )
+        assert violations == []
+
+    def test_constructor_self_writes_are_exempt(self):
+        violations = analyze_source(
+            """
+class Thing:
+    def __init__(self):
+        self._blocks = {}
+""",
+            module="repro.core.thing",
+        )
+        assert violations == []
+
+
+# --------------------------------------------------------------------- #
+# determinism
+# --------------------------------------------------------------------- #
+class TestDeterminism:
+    def test_stdlib_random_fires_in_scope(self):
+        violations = analyze_source("import random\n", module="repro.exec.snippet")
+        assert rules_of(violations) == {"no-stdlib-random"}
+
+    def test_stdlib_random_allowed_out_of_scope(self):
+        assert analyze_source("import random\n", module="repro.workloads.gen") == []
+
+    def test_global_numpy_rng_fires(self):
+        violations = analyze_source(
+            "import numpy as np\n\n\ndef f(x):\n    np.random.shuffle(x)\n",
+            module="repro.sim.snippet",
+        )
+        assert "no-global-numpy-rng" in rules_of(violations)
+
+    def test_wall_clock_fires(self):
+        violations = analyze_source(
+            "import time\n\n\ndef f():\n    return time.perf_counter()\n",
+            module="repro.join.snippet",
+        )
+        assert rules_of(violations) == {"no-wall-clock"}
+
+    def test_from_time_import_fires(self):
+        violations = analyze_source(
+            "from time import perf_counter\n", module="repro.exec.snippet"
+        )
+        assert rules_of(violations) == {"no-wall-clock"}
+
+    def test_set_for_loop_fires_and_sorted_fixes_it(self):
+        bad = (
+            "def f():\n"
+            "    out = []\n"
+            "    for x in {3, 1, 2}:\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        assert rules_of(analyze_source(bad, module="repro.adaptive.snippet")) == {
+            "unsorted-set-iter"
+        }
+        good = bad.replace("in {3, 1, 2}", "in sorted({3, 1, 2})")
+        assert analyze_source(good, module="repro.adaptive.snippet") == []
+
+    def test_order_free_consumers_are_allowed(self):
+        text = "def f(s: set[int]):\n    return sum(x * 2 for x in s)\n"
+        assert analyze_source(text, module="repro.exec.snippet") == []
+
+    def test_list_of_set_fires(self):
+        text = "def f(s: set[int]):\n    return list(s)\n"
+        assert rules_of(analyze_source(text, module="repro.exec.snippet")) == {
+            "unsorted-set-iter"
+        }
+
+    def test_dict_of_sets_propagates_through_items(self):
+        text = (
+            "def deps(tasks) -> dict[int, set[int]]:\n"
+            "    return {}\n"
+            "\n"
+            "\n"
+            "def g(tasks):\n"
+            "    out = []\n"
+            "    for key, values in deps(tasks).items():\n"
+            "        for value in values:\n"
+            "            out.append(value)\n"
+            "    return out\n"
+        )
+        assert rules_of(analyze_source(text, module="repro.sim.snippet")) == {
+            "unsorted-set-iter"
+        }
+
+    def test_unseeded_default_rng_fires_everywhere(self):
+        text = "import numpy as np\n\nrng = np.random.default_rng()\n"
+        assert rules_of(analyze_source(text, module="repro.workloads.bench")) == {
+            "unseeded-rng"
+        }
+        seeded = text.replace("default_rng()", "default_rng(7)")
+        assert analyze_source(seeded, module="repro.workloads.bench") == []
+
+
+# --------------------------------------------------------------------- #
+# cache keys
+# --------------------------------------------------------------------- #
+class TestCacheKeys:
+    def test_undeclared_mutable_read_fires(self):
+        text = (
+            "from repro.common.epochs import epoch_keyed\n"
+            "\n"
+            "\n"
+            '@epoch_keyed(reads=("epoch",))\n'
+            "def relevant(table, predicates):\n"
+            "    return table.lookup(predicates)\n"
+        )
+        violations = analyze_source(text, module="repro.core.snippet")
+        assert rules_of(violations) == {"cache-key-read"}
+        assert "lookup" in violations[0].message
+
+    def test_declared_read_is_quiet(self):
+        text = (
+            "from repro.common.epochs import epoch_keyed\n"
+            "\n"
+            "\n"
+            '@epoch_keyed(reads=("epoch", "lookup"))\n'
+            "def relevant(table, predicates):\n"
+            "    return table.lookup(predicates)\n"
+        )
+        assert analyze_source(text, module="repro.core.snippet") == []
+
+    def test_missing_registrations_fire(self):
+        violations = analyze_source("X = 1\n", module="repro.join.hyperjoin")
+        assert rules_of(violations) == {"cache-key-registration"}
+        messages = " ".join(violation.message for violation in violations)
+        assert "plan_hyper_join" in messages
+        assert "HyperPlanCache.get_or_plan" in messages
+
+    def test_present_registrations_are_quiet(self):
+        text = (
+            "from repro.common.epochs import epoch_keyed\n"
+            "\n"
+            "\n"
+            "@epoch_keyed(reads=())\n"
+            "def plan_hyper_join():\n"
+            "    return None\n"
+            "\n"
+            "\n"
+            "class HyperPlanCache:\n"
+            "    @epoch_keyed(reads=())\n"
+            "    def get_or_plan(self):\n"
+            "        return None\n"
+        )
+        assert analyze_source(text, module="repro.join.hyperjoin") == []
+
+
+# --------------------------------------------------------------------- #
+# task purity
+# --------------------------------------------------------------------- #
+class TestTaskPurity:
+    def test_banned_field_annotation_fires(self):
+        text = (
+            "class Task:\n"
+            "    kind: int\n"
+            '    block: "Block"\n'
+        )
+        violations = analyze_source(text, module="repro.exec.tasks_snippet")
+        assert rules_of(violations) == {"task-purity-field"}
+        assert len(violations) == 1  # only the Block field, not ``kind``
+
+    def test_tainted_capture_fires_and_ids_are_fine(self):
+        bad = (
+            "def compile_tasks(dfs, ids):\n"
+            "    blocks = dfs.get_blocks(ids)\n"
+            "    return Task(blocks)\n"
+        )
+        violations = analyze_source(bad, module="repro.exec.snippet")
+        assert rules_of(violations) == {"task-purity-capture"}
+        good = bad.replace("Task(blocks)", "Task(ids)")
+        assert analyze_source(good, module="repro.exec.snippet") == []
+
+    def test_direct_storage_call_argument_fires(self):
+        text = "def f(dfs):\n    return Task(dfs.get_block(3))\n"
+        assert rules_of(analyze_source(text, module="repro.exec.snippet")) == {
+            "task-purity-capture"
+        }
+
+    def test_out_of_scope_module_is_quiet(self):
+        text = "def f(dfs):\n    return Task(dfs.get_block(3))\n"
+        assert analyze_source(text, module="repro.workloads.snippet") == []
+
+
+# --------------------------------------------------------------------- #
+# framework mechanics
+# --------------------------------------------------------------------- #
+class TestFramework:
+    def test_suppression_on_the_line(self):
+        text = "import random  # repro: allow[no-stdlib-random]\n"
+        assert analyze_source(text, module="repro.exec.snippet") == []
+
+    def test_suppression_on_the_line_above(self):
+        text = "# repro: allow[no-stdlib-random]\nimport random\n"
+        assert analyze_source(text, module="repro.exec.snippet") == []
+
+    def test_suppression_with_wrong_rule_id_does_not_apply(self):
+        text = "import random  # repro: allow[no-wall-clock]\n"
+        violations = analyze_source(text, module="repro.exec.snippet")
+        assert rules_of(violations) == {"no-stdlib-random"}
+
+    def test_rules_filter(self):
+        text = "import random\nimport time\n\nt = time.time()\n"
+        violations = analyze_source(
+            text,
+            module="repro.exec.snippet",
+            rules=frozenset({"no-wall-clock"}),
+        )
+        assert rules_of(violations) == {"no-wall-clock"}
+
+    def test_render_format(self):
+        violations = analyze_source(
+            "import random\n", module="repro.exec.snippet", path="x.py"
+        )
+        rendered = violations[0].render()
+        assert rendered.startswith("x.py:1: [no-stdlib-random]")
+        assert "(" in rendered  # the fix hint
+
+    def test_checker_rule_ids_are_unique(self):
+        all_rules = [
+            rule for checker in ALL_CHECKERS for rule in checker.rules
+        ]
+        assert len(all_rules) == len(set(all_rules))
+        assert set(all_rules) == set(ALL_RULES)
+
+
+# --------------------------------------------------------------------- #
+# the live gates
+# --------------------------------------------------------------------- #
+class TestRepositoryIsClean:
+    def test_src_tree_has_no_violations(self):
+        violations, num_files = analyze_paths([SRC])
+        assert num_files > 50
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_benchmarks_and_examples_use_seeded_rngs(self):
+        paths = [REPO / "benchmarks", REPO / "examples"]
+        violations, num_files = analyze_paths(
+            paths, rules=frozenset({"unseeded-rng"})
+        )
+        assert num_files > 0
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_cli_exits_zero_on_clean_tree(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(SRC)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 violations" in proc.stdout
+
+    def test_cli_rejects_unknown_rule(self):
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--rules", "no-such-rule"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        assert proc.returncode != 0
+
+
+# --------------------------------------------------------------------- #
+# BoundedLRU key hygiene (satellite)
+# --------------------------------------------------------------------- #
+class TestBoundedLRUKeys:
+    def test_unhashable_put_raises_planning_error(self):
+        cache = BoundedLRU(capacity=4)
+        with pytest.raises(PlanningError, match="not hashable"):
+            cache.put(["list", "key"], "value")
+
+    def test_unhashable_get_raises_planning_error(self):
+        cache = BoundedLRU(capacity=4)
+        with pytest.raises(PlanningError, match="not hashable"):
+            cache.get({"dict": "key"})
+
+    def test_hashable_keys_still_work(self):
+        cache = BoundedLRU(capacity=2)
+        cache.put(("a", 1), "x")
+        assert cache.get(("a", 1)) == "x"
+        assert cache.hits == 1

@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.cluster import Cluster
 from repro.common.predicates import ge
 from repro.common.query import Query, JoinClause, join_query, scan_query
 from repro.core import AdaptDB, AdaptDBConfig

@@ -16,7 +16,7 @@ from repro.common.errors import ExecutionError
 from repro.common.query import join_query, scan_query
 from repro.common.rng import make_rng
 from repro.core import AdaptDBConfig
-from repro.exec import Scheduler, Task, TaskKind, TaskSchedule, compile_plan
+from repro.exec import Task, TaskKind, TaskSchedule, compile_plan
 from repro.sim import (
     ClusterSimulator,
     background_repartition_schedule,
@@ -179,7 +179,10 @@ class TestSimulatorCore:
     def test_empty_job_completes_instantly_and_fires_callback(self):
         completions = []
         sim = ClusterSimulator(num_machines=2)
-        sim.on_job_complete = lambda job, time: completions.append((job.job_id, time))
+        def record(job, time):
+            completions.append((job.job_id, time))
+
+        sim.on_job_complete = record
         sim.submit(schedule_of(2, {}), arrival=3.0)
         report = sim.run()
         assert completions == [(0, 3.0)]
