@@ -458,7 +458,13 @@ def main() -> int:
     data = {}
     if args.out.exists():
         data = json.loads(args.out.read_text())
-    data[args.label] = run_suite(args.smoke)
+    suite = run_suite(args.smoke)
+    previous = data.get(args.label) or {}
+    if "parallel" in previous:
+        # bench_parallel.py owns this subsection; re-running this script
+        # must not drop its most recent numbers.
+        suite["parallel"] = previous["parallel"]
+    data[args.label] = suite
     status = compare(data)
     args.out.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {args.out} [{args.label}] "

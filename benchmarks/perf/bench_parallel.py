@@ -1,0 +1,327 @@
+"""Parallel-backend benchmark: scan scaling plus sim-vs-real calibration.
+
+Two sections, recorded under the ``"parallel"`` key of the label's entry in
+``BENCH_adaptation.json``:
+
+* **scan scaling** — a fig08-style batch of selective ``lineitem`` scans
+  executed by the parallel backend at 1/2/4/8 workers (same 8-machine
+  schedule every time — only the worker fold changes, so fingerprints must
+  be identical across worker counts *and* identical to the in-process task
+  backend).  Reports wall seconds per worker count, the speedup relative
+  to one worker, and whether the paper-style 1.8x-at-4-workers target is
+  met.  The speedup is **measured honestly**: on a single-CPU container
+  (``cpu_count`` is recorded) extra workers cannot help, so the target is
+  reported but never gates.
+* **calibration** — fig08-style scans and fig13-style joins through
+  ``repro.parallel.calibrate``: the PR-4 discrete-event simulator predicts
+  each schedule's makespan, the parallel backend measures it, and the
+  report carries the fitted ``seconds per cost unit`` scale, the mean
+  relative error after that fit, and a per-stage (task-kind) share
+  breakdown.  Every query is cross-checked to fingerprint-match the task
+  backend.
+
+What gates (exit status) and what doesn't:
+
+* fingerprint agreement — across worker counts, against the task backend,
+  and (when ``--baseline`` is given) against the committed smoke baseline
+  — **fatal** on mismatch,
+* calibration error above ``--error-threshold`` — **reported, non-fatal**
+  (wall-clock noise on shared CI runners is not a correctness signal).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_parallel.py --smoke \
+        --out /tmp/bench.json --baseline benchmarks/perf/BENCH_parallel_smoke_baseline.json
+    PYTHONPATH=src python benchmarks/perf/bench_parallel.py --label post
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.api import Session
+from repro.core.config import AdaptDBConfig
+from repro.parallel.calibrate import (
+    calibrate,
+    fig08_scan_queries,
+    fig13_join_queries,
+)
+from repro.workloads.tpch import TPCHGenerator
+
+DEFAULT_OUT = Path(__file__).resolve().parents[2] / "BENCH_adaptation.json"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_parallel_smoke_baseline.json"
+
+#: Fig08-style scaling target from the issue: 1.8x at 4 workers.  Only
+#: meaningful with >= 4 cores; recorded either way, never load-bearing on
+#: fewer cores.
+SPEEDUP_TARGET = 1.8
+SPEEDUP_TARGET_WORKERS = 4
+
+
+def _fingerprint_digest(fingerprints: list[tuple]) -> str:
+    """Stable hex digest of a list of QueryResult fingerprints."""
+    canonical = json.dumps([list(fp) for fp in fingerprints], sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _make_session(
+    tables, num_workers: int, rows_per_block: int, seed: int
+) -> Session:
+    config = AdaptDBConfig(
+        rows_per_block=rows_per_block,
+        buffer_blocks=8,
+        seed=seed,
+        num_machines=8,
+        num_workers=num_workers,
+        execution_backend="parallel",
+    )
+    session = Session(config=config)
+    for table in tables.values():
+        session.load_table(table)
+    return session
+
+
+# --------------------------------------------------------------------------- #
+# Scan scaling (fig08-style)
+# --------------------------------------------------------------------------- #
+
+def run_scan_scaling(
+    scale: float,
+    rows_per_block: int,
+    num_queries: int,
+    worker_counts: list[int],
+    repeats: int,
+    seed: int = 1,
+) -> dict:
+    """Measure the fig08 scan batch at each worker count.
+
+    Every session uses the same 8-machine cluster, so the compiled
+    schedules — and therefore the results — are identical; only the
+    machine-to-worker fold varies.  Per worker count the batch runs once
+    for warmup (which also pins the shared-memory segments) and then
+    ``repeats`` times, keeping the fastest batch time.
+    """
+    queries = fig08_scan_queries(num_queries)
+    tables = TPCHGenerator(scale=scale, seed=seed).generate(["lineitem"])
+
+    seconds: dict[str, float] = {}
+    digests: dict[str, str] = {}
+    tasks_digest = ""
+    for workers in worker_counts:
+        session = _make_session(tables, workers, rows_per_block, seed)
+        try:
+            physicals = [
+                session.lower(session.plan(query, adapt=False)) for query in queries
+            ]
+            if not tasks_digest:
+                session.use_backend("tasks")
+                tasks_digest = _fingerprint_digest(
+                    [session.execute(physical).fingerprint() for physical in physicals]
+                )
+                session.use_backend("parallel")
+            results = [session.execute(physical) for physical in physicals]  # warmup
+            best = float("inf")
+            for _ in range(max(repeats, 1)):
+                results = [session.execute(physical) for physical in physicals]
+                best = min(best, sum(result.wall_seconds for result in results))
+            seconds[str(workers)] = round(best, 6)
+            digests[str(workers)] = _fingerprint_digest(
+                [result.fingerprint() for result in results]
+            )
+        finally:
+            session.close()
+
+    base = seconds[str(worker_counts[0])]
+    speedup = {
+        count: round(base / value, 3) if value else 0.0
+        for count, value in seconds.items()
+    }
+    target_key = str(SPEEDUP_TARGET_WORKERS)
+    return {
+        "scale": scale,
+        "rows_per_block": rows_per_block,
+        "num_queries": num_queries,
+        "repeats": repeats,
+        "worker_counts": worker_counts,
+        "seconds": seconds,
+        "speedup_vs_1_worker": speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_target_workers": SPEEDUP_TARGET_WORKERS,
+        "speedup_target_met": speedup.get(target_key, 0.0) >= SPEEDUP_TARGET,
+        "fingerprint": digests[str(worker_counts[0])],
+        "fingerprints_identical_across_worker_counts": len(set(digests.values())) == 1,
+        "matches_tasks_backend": set(digests.values()) == {tasks_digest},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Sim-vs-real calibration (fig08 scans + fig13 joins)
+# --------------------------------------------------------------------------- #
+
+def run_calibration(
+    scale: float,
+    rows_per_block: int,
+    num_workers: int,
+    scan_queries: int,
+    join_queries: int,
+    repeats: int,
+    seed: int = 1,
+) -> dict:
+    tables = TPCHGenerator(scale=scale, seed=seed).generate(["lineitem", "orders"])
+    session = _make_session(tables, num_workers, rows_per_block, seed)
+    try:
+        scan_report = calibrate(
+            session,
+            fig08_scan_queries(scan_queries),
+            repeats=repeats,
+            workload="fig08-scans",
+        )
+        join_report = calibrate(
+            session,
+            fig13_join_queries(join_queries),
+            repeats=repeats,
+            workload="fig13-joins",
+        )
+    finally:
+        session.close()
+    return {"fig08_scans": scan_report.as_dict(), "fig13_joins": join_report.as_dict()}
+
+
+# --------------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------------- #
+
+def run_suite(smoke: bool) -> dict:
+    if smoke:
+        scaling = run_scan_scaling(
+            scale=0.02, rows_per_block=128, num_queries=3,
+            worker_counts=[1, 2], repeats=2,
+        )
+        calibration = run_calibration(
+            scale=0.02, rows_per_block=128, num_workers=2,
+            scan_queries=2, join_queries=2, repeats=2,
+        )
+    else:
+        scaling = run_scan_scaling(
+            scale=0.1, rows_per_block=256, num_queries=6,
+            worker_counts=[1, 2, 4, 8], repeats=3,
+        )
+        calibration = run_calibration(
+            scale=0.1, rows_per_block=256, num_workers=4,
+            scan_queries=4, join_queries=3, repeats=3,
+        )
+    return {
+        "mode": "smoke" if smoke else "full",
+        "cpu_count": os.cpu_count(),
+        "scan_scaling": scaling,
+        "calibration": calibration,
+    }
+
+
+def check(section: dict, baseline_path: Path | None, error_threshold: float) -> int:
+    """Gate fingerprints (fatal) and report calibration error (non-fatal)."""
+    status = 0
+    scaling = section["scan_scaling"]
+    print(
+        f"scan scaling on {section['cpu_count']} CPU(s): "
+        + ", ".join(
+            f"{count}w={scaling['seconds'][count]}s "
+            f"(x{scaling['speedup_vs_1_worker'][count]})"
+            for count in scaling["seconds"]
+        )
+    )
+    target = f"{scaling['speedup_target']}x at {scaling['speedup_target_workers']} workers"
+    print(f"speedup target {target}: met={scaling['speedup_target_met']} "
+          f"(informational; impossible above cpu_count)")
+    if not scaling["fingerprints_identical_across_worker_counts"]:
+        print("ERROR: fingerprints differ across worker counts", file=sys.stderr)
+        status = 1
+    if not scaling["matches_tasks_backend"]:
+        print("ERROR: parallel fingerprints differ from the task backend",
+              file=sys.stderr)
+        status = 1
+
+    for workload, report in section["calibration"].items():
+        print(
+            f"calibration[{workload}]: fitted "
+            f"{report['fitted_seconds_per_unit']} s/unit, "
+            f"mean relative error {report['mean_relative_error']}, "
+            f"fingerprints match tasks: {report['all_fingerprints_match']}"
+        )
+        if not report["all_fingerprints_match"]:
+            print(f"ERROR: calibration[{workload}] fingerprint mismatch",
+                  file=sys.stderr)
+            status = 1
+        if report["mean_relative_error"] > error_threshold:
+            print(
+                f"warning: calibration[{workload}] error "
+                f"{report['mean_relative_error']} exceeds threshold "
+                f"{error_threshold} (non-fatal: wall-clock noise)",
+            )
+
+    if baseline_path is not None and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        expected = baseline.get("scan_scaling_fingerprint")
+        actual = scaling["fingerprint"]
+        if expected != actual:
+            print(
+                f"ERROR: scan fingerprint {actual} != committed baseline "
+                f"{expected} ({baseline_path})",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(f"committed smoke baseline matches ({baseline_path.name})")
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="post", choices=["pre", "post"],
+                        help="which slot of the JSON to write under")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI smoke runs")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="output JSON path (merged, not overwritten)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed smoke baseline to gate fingerprints against")
+    parser.add_argument("--error-threshold", type=float, default=0.75,
+                        help="non-fatal warning bound on mean relative calibration error")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help=f"refresh {DEFAULT_BASELINE.name} from this run")
+    args = parser.parse_args()
+
+    section = run_suite(args.smoke)
+    status = check(section, args.baseline, args.error_threshold)
+
+    data = {}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+    entry = data.get(args.label) or {}
+    entry["parallel"] = section
+    data[args.label] = entry
+    args.out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out} [{args.label}][parallel]")
+
+    if args.write_baseline:
+        DEFAULT_BASELINE.write_text(
+            json.dumps(
+                {
+                    "mode": section["mode"],
+                    "scan_scaling_fingerprint": section["scan_scaling"]["fingerprint"],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {DEFAULT_BASELINE}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,7 +64,16 @@ RULE_SET_ITER = "unsorted-set-iter"
 RULE_UNSEEDED = "unseeded-rng"
 
 #: Modules whose behaviour is fingerprinted and must be deterministic.
-SCOPE_PREFIXES = ("repro.exec", "repro.sim", "repro.adaptive", "repro.join")
+#: ``repro.parallel`` is in scope because its results must stay
+#: bit-identical to the in-process engine; its one sanctioned wall-clock
+#: helper (reporting-only timings) carries a ``# repro: allow``.
+SCOPE_PREFIXES = (
+    "repro.exec",
+    "repro.sim",
+    "repro.adaptive",
+    "repro.join",
+    "repro.parallel",
+)
 
 WALL_CLOCK_CALLS = frozenset(
     {"time.time", "time.perf_counter", "time.monotonic", "time.process_time"}

@@ -41,12 +41,24 @@ BANNED_TYPES = frozenset(
     }
 )
 
-TASK_CLASSES = frozenset({"Task", "TaskSchedule"})
-TASK_CONSTRUCTORS = frozenset({"Task", "new_task"})
+#: Parallel-backend payloads obey the same purity discipline as tasks:
+#: they cross a process boundary, so only ids, pins and flat data may ride.
+PAYLOAD_CLASSES = frozenset(
+    {
+        "ScanPayload",
+        "ShuffleMapPayload",
+        "ShuffleReducePayload",
+        "HyperGroupPayload",
+        "TaskOutcome",
+    }
+)
+
+TASK_CLASSES = frozenset({"Task", "TaskSchedule"}) | PAYLOAD_CLASSES
+TASK_CONSTRUCTORS = frozenset({"Task", "new_task"}) | PAYLOAD_CLASSES
 TAINT_METHODS = frozenset({"peek_block", "get_block", "get_blocks"})
 TAINT_CONSTRUCTORS = frozenset({"Block", "StoredTable"})
 
-SCOPE_PREFIXES = ("repro.exec",)
+SCOPE_PREFIXES = ("repro.exec", "repro.parallel")
 
 
 def _annotation_mentions_banned(annotation: ast.expr) -> str | None:

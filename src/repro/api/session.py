@@ -52,6 +52,7 @@ from ..exec.engine import Executor
 from ..exec.result import QueryResult
 from ..exec.scheduler import Scheduler, compile_plan
 from ..join.hyperjoin import HyperPlanCache
+from ..parallel.backend import ParallelBackend
 from ..partitioning.tree import PartitioningTree
 from ..partitioning.upfront import UpfrontPartitioner
 from ..sim.backend import SimBackend
@@ -129,6 +130,10 @@ class Session:
                 TaskBackend(catalog=self.catalog, cluster=self.cluster, config=self.config),
                 SerialBackend(catalog=self.catalog, cluster=self.cluster, config=self.config),
                 SimBackend(catalog=self.catalog, cluster=self.cluster, config=self.config),
+                # The worker pool starts lazily on the first parallel
+                # execute(), so registering the backend costs nothing for
+                # sessions that never select it.
+                ParallelBackend(catalog=self.catalog, cluster=self.cluster, config=self.config),
             )
         }
         self.use_backend(self.backend if self.backend is not None
@@ -336,6 +341,27 @@ class Session:
     def run_workload(self, queries: list[Query], adapt: bool = True) -> list[QueryResult]:
         """Run a sequence of queries, adapting after each one."""
         return [self.run(query, adapt=adapt) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release cross-process resources (worker pool, pinned segments).
+
+        Only the parallel backend holds any; closing is idempotent and a
+        closed session remains usable through the in-process backends (the
+        parallel backend restarts its pool lazily if selected again).
+        """
+        for backend in self.backends.values():
+            closer = getattr(backend, "close", None)
+            if callable(closer):
+                closer()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Introspection

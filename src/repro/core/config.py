@@ -46,9 +46,17 @@ class AdaptDBConfig:
         execution_backend: Which :class:`~repro.api.ExecutionBackend` a
             session executes through: ``"tasks"`` (the task-based parallel
             engine, with makespan accounting), ``"serial"`` (the paper's
-            idealised serial-sum model), or ``"simulated"`` (the task engine
+            idealised serial-sum model), ``"simulated"`` (the task engine
             plus the ``repro.sim`` discrete-event simulator: stage barriers,
-            queueing, repartition-bandwidth contention).
+            queueing, repartition-bandwidth contention), or ``"parallel"``
+            (true multi-core execution on a persistent worker pool with
+            shared-memory block transport, ``repro.parallel``).
+        num_workers: Worker processes of the parallel backend; ``None``
+            means one worker per simulated machine.
+        worker_start_method: ``multiprocessing`` start method for the
+            parallel backend's pool (``"fork"`` / ``"spawn"`` /
+            ``"forkserver"``); ``None`` picks ``fork`` where available,
+            else ``spawn``.
         sim_repartition_bandwidth: Cluster-wide cap on repartition tasks
             running concurrently in the simulator — the bounded I/O budget
             adaptation work gets, so it contends with query tasks instead of
@@ -75,6 +83,8 @@ class AdaptDBConfig:
     shuffle_cost_factor: float = 3.0
     seconds_per_block: float = 1.0
     execution_backend: str = "tasks"
+    num_workers: int | None = None
+    worker_start_method: str | None = None
     sim_repartition_bandwidth: int = 2
     plan_cache_size: int = 64
 
@@ -89,9 +99,16 @@ class AdaptDBConfig:
             raise PlanningError("join_level_fraction must be in [0, 1]")
         if self.force_join_method not in (None, "shuffle", "hyper"):
             raise PlanningError("force_join_method must be None, 'shuffle' or 'hyper'")
-        if self.execution_backend not in ("tasks", "serial", "simulated"):
+        if self.execution_backend not in ("tasks", "serial", "simulated", "parallel"):
             raise PlanningError(
-                "execution_backend must be 'tasks', 'serial' or 'simulated'"
+                "execution_backend must be 'tasks', 'serial', 'simulated' "
+                "or 'parallel'"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise PlanningError("num_workers must be at least 1 (or None)")
+        if self.worker_start_method not in (None, "fork", "spawn", "forkserver"):
+            raise PlanningError(
+                "worker_start_method must be None, 'fork', 'spawn' or 'forkserver'"
             )
         if self.sim_repartition_bandwidth < 1:
             raise PlanningError("sim_repartition_bandwidth must be at least 1")

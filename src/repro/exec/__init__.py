@@ -9,13 +9,15 @@ one batched DFS call.  Runtime is accounted both ways: the serial cost sum
 load — which is what a distributed deployment would actually observe,
 stragglers included.
 
-* ``repro.exec.tasks``     — task and schedule data structures
-* ``repro.exec.scheduler`` — plan compilation and locality-aware placement
-* ``repro.exec.engine``    — the executor that runs a schedule
-* ``repro.exec.result``    — per-query accounting (:class:`QueryResult`)
+* ``repro.exec.tasks``         — task and schedule data structures
+* ``repro.exec.scheduler``     — plan compilation and locality-aware placement
+* ``repro.exec.engine``        — the executor that runs a schedule
+* ``repro.exec.kernels_tasks`` — pure per-task kernels + outcome merging
+  (shared with the multi-core backend in ``repro.parallel``)
+* ``repro.exec.result``        — per-query accounting (:class:`QueryResult`)
 """
 
-from .engine import Executor
+from .engine import Executor, JoinState
 from .result import QueryResult
 from .scheduler import CompiledPlan, Scheduler, compile_plan, replica_hints
 from .tasks import Task, TaskKind, TaskSchedule
@@ -23,6 +25,7 @@ from .tasks import Task, TaskKind, TaskSchedule
 __all__ = [
     "CompiledPlan",
     "Executor",
+    "JoinState",
     "QueryResult",
     "Scheduler",
     "Task",

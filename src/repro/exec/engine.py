@@ -23,22 +23,25 @@ from ..core.config import AdaptDBConfig
 from ..core.optimizer import JoinDecision, QueryPlan
 from ..core.planner import JoinMethod
 from ..join.hyperjoin import HyperJoinPlan
-from ..join.kernels import (
-    KeyHistogram,
-    batch_matching_count,
-    gather_filtered_keys,
-    hash_partition,
-    join_match_count,
-)
 from ..join.shuffle import JoinStats
 from ..storage.catalog import Catalog
+from .kernels_tasks import (
+    apply_hyper_group_outcome,
+    apply_scan_outcome,
+    apply_shuffle_map_outcome,
+    apply_shuffle_reduce_outcome,
+    run_hyper_group_task,
+    run_scan_task,
+    run_shuffle_map_task,
+    run_shuffle_reduce_task,
+)
 from .result import QueryResult
 from .scheduler import CompiledPlan, Scheduler, compile_plan
 from .tasks import Task, TaskKind, TaskSchedule
 
 
 @dataclass
-class _JoinState:
+class JoinState:
     """Mutable per-join accumulator shared by that join's tasks."""
 
     decision: JoinDecision
@@ -59,6 +62,10 @@ class _JoinState:
         if not parts[partition]:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts[partition])
+
+
+#: Backwards-compatible private alias (pre-PR-7 name).
+_JoinState = JoinState
 
 
 @dataclass
@@ -84,6 +91,23 @@ class Executor:
         pair through this entry point; neither is mutated by execution, so a
         pair can be replayed any number of times at a fixed partition state.
         """
+        result, states = self.begin_schedule(plan, compiled)
+        for machine_id, task in schedule.placements():
+            self._run_task(task, machine_id, plan, states, result)
+        return self.finish_schedule(plan, schedule, states, result)
+
+    # ------------------------------------------------------------------ #
+    # Schedule accounting shared with the multi-core backend
+    # ------------------------------------------------------------------ #
+    def begin_schedule(
+        self, plan: QueryPlan, compiled: CompiledPlan
+    ) -> tuple[QueryResult, list[JoinState]]:
+        """Pre-execution accounting: the result shell and join accumulators.
+
+        The parallel backend (``repro.parallel``) uses this together with
+        :meth:`finish_schedule` so that merging worker outcomes goes through
+        exactly the accounting code the in-process loop uses.
+        """
         cost_model = self.cluster.cost_model
         result = QueryResult(query=plan.query)
 
@@ -95,16 +119,24 @@ class Executor:
         result.tasks_scheduled = len(compiled.tasks)
 
         states = [
-            _JoinState(
+            JoinState(
                 decision=decision,
                 hyper_plan=compiled.hyper_plans[index],
                 num_partitions=self.cluster.num_machines,
             )
             for index, decision in enumerate(plan.join_decisions)
         ]
+        return result, states
 
-        for machine_id, task in schedule.placements():
-            self._run_task(task, machine_id, plan, states, result)
+    def finish_schedule(
+        self,
+        plan: QueryPlan,
+        schedule: TaskSchedule,
+        states: list[JoinState],
+        result: QueryResult,
+    ) -> QueryResult:
+        """Post-execution accounting: join stats, answer, makespan fields."""
+        cost_model = self.cluster.cost_model
 
         # Scan accounting: matched rows were accumulated per task; the cost
         # follows the same per-block model as the serial executor.
@@ -143,7 +175,7 @@ class Executor:
         task: Task,
         machine_id: int,
         plan: QueryPlan,
-        states: list[_JoinState],
+        states: list[JoinState],
         result: QueryResult,
     ) -> None:
         if task.kind is TaskKind.REPARTITION:
@@ -152,9 +184,8 @@ class Executor:
         if task.kind is TaskKind.SCAN:
             dfs = self.catalog.get(task.table).dfs
             blocks = dfs.get_blocks(task.block_ids, machine_id)
-            predicates = plan.query.predicates_on(task.table)
-            result.scan_output_rows += batch_matching_count(blocks, predicates)
-            result.blocks_read += len(task.block_ids)
+            matched = run_scan_task(blocks, plan.query.predicates_on(task.table))
+            apply_scan_outcome(result, task, matched)
             return
 
         state = states[task.join_index]
@@ -163,52 +194,41 @@ class Executor:
         if task.kind is TaskKind.SHUFFLE_MAP:
             dfs = self.catalog.get(task.table).dfs
             blocks = dfs.get_blocks(task.block_ids, machine_id)
-            column = decision.clause.column_for(task.table)
-            keys = gather_filtered_keys(blocks, column, plan.query.predicates_on(task.table))
-            partitions = (
-                state.build_partitions if task.side == "build" else state.probe_partitions
+            parts = run_shuffle_map_task(
+                blocks,
+                decision.clause.column_for(task.table),
+                plan.query.predicates_on(task.table),
+                state.num_partitions,
             )
-            if len(keys):
-                assignment = hash_partition(keys, state.num_partitions)
-                for partition in np.unique(assignment):
-                    partitions[int(partition)].append(keys[assignment == partition])
-            if task.side == "build":
-                state.build_blocks_read += len(task.block_ids)
-            else:
-                state.probe_blocks_read += len(task.block_ids)
+            apply_shuffle_map_outcome(state, task, parts)
             return
 
         if task.kind is TaskKind.SHUFFLE_REDUCE:
-            state.output_rows += join_match_count(
-                KeyHistogram.from_keys(state.partition_keys("build", task.partition_index)),
-                KeyHistogram.from_keys(state.partition_keys("probe", task.partition_index)),
+            rows = run_shuffle_reduce_task(
+                state.partition_keys("build", task.partition_index),
+                state.partition_keys("probe", task.partition_index),
             )
+            apply_shuffle_reduce_outcome(state, rows)
             return
 
         # Hyper-join group: build one hash table, probe the overlapping blocks.
         dfs = self.catalog.get(decision.build_table).dfs
-        build_column = decision.clause.column_for(decision.build_table)
-        probe_column = decision.clause.column_for(decision.probe_table)
         build_blocks = dfs.get_blocks(task.block_ids, machine_id)
-        build_histogram = KeyHistogram.from_keys(
-            gather_filtered_keys(
-                build_blocks, build_column, plan.query.predicates_on(decision.build_table)
-            )
-        )
         probe_blocks = dfs.get_blocks(task.probe_block_ids, machine_id)
-        probe_histogram = KeyHistogram.from_keys(
-            gather_filtered_keys(
-                probe_blocks, probe_column, plan.query.predicates_on(decision.probe_table)
-            )
+        rows = run_hyper_group_task(
+            build_blocks,
+            probe_blocks,
+            decision.clause.column_for(decision.build_table),
+            decision.clause.column_for(decision.probe_table),
+            plan.query.predicates_on(decision.build_table),
+            plan.query.predicates_on(decision.probe_table),
         )
-        state.output_rows += join_match_count(build_histogram, probe_histogram)
-        state.build_blocks_read += len(task.block_ids)
-        state.probe_blocks_read += len(task.probe_block_ids)
+        apply_hyper_group_outcome(state, task, rows)
 
     # ------------------------------------------------------------------ #
     # Join accounting
     # ------------------------------------------------------------------ #
-    def _finish_join(self, state: _JoinState) -> JoinStats:
+    def _finish_join(self, state: JoinState) -> JoinStats:
         cost_model = self.cluster.cost_model
         if state.decision.method is JoinMethod.SHUFFLE:
             return JoinStats(

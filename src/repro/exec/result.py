@@ -46,6 +46,12 @@ class QueryResult:
             observed (time tasks spent runnable but waiting for a machine).
         sim_machine_busy_seconds: Simulated busy time per machine (index =
             machine id); ``sim_seconds - busy`` is that machine's idle time.
+        wall_seconds: Measured wall-clock time of the execution, populated
+            only by the multi-core ``ParallelBackend`` (zero elsewhere).
+            Excluded from :meth:`fingerprint` — it is measured, not modelled.
+        machine_wall_seconds: Measured wall-clock task time per machine
+            (index = machine id), populated only by the parallel backend.
+            Also excluded from :meth:`fingerprint`.
     """
 
     query: Query
@@ -68,6 +74,8 @@ class QueryResult:
     sim_seconds: float = 0.0
     sim_queueing_seconds: float = 0.0
     sim_machine_busy_seconds: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    machine_wall_seconds: list[float] = field(default_factory=list)
 
     def fingerprint(self) -> tuple:
         """Stable digest of every decision-dependent field of the result.
@@ -75,8 +83,10 @@ class QueryResult:
         Two executions of the same query against the same partition state
         must produce equal fingerprints — the plan-cache tests and the
         adaptation benchmark compare cached vs. cold runs through this.
-        Wall-clock measurements (``planning_seconds``) and cache provenance
-        (``plan_cache_hit``) are deliberately excluded.
+        Wall-clock measurements (``planning_seconds``, ``wall_seconds``,
+        ``machine_wall_seconds``) and cache provenance (``plan_cache_hit``)
+        are deliberately excluded, which is what lets the parallel backend
+        produce fingerprints bit-identical to the task backend.
         """
         return (
             self.output_rows,

@@ -1,0 +1,33 @@
+"""True multi-core execution: worker pool, shared-memory transport, calibration.
+
+The fourth execution backend (``execution_backend="parallel"``): compiled
+task schedules run on a persistent process pool with block columns shipped
+through shared-memory segments, producing results and fingerprints
+bit-identical to the in-process task engine plus measured
+``wall_seconds``.  ``repro.parallel.calibrate`` compares the ``repro.sim``
+simulator's makespan predictions against those measurements.
+"""
+
+from .backend import ParallelBackend, TaskRecord
+from .calibrate import (
+    CalibrationReport,
+    QueryCalibration,
+    calibrate,
+    fig08_scan_queries,
+    fig13_join_queries,
+    strip_repartitions,
+)
+from .pool import TaskOutcome, WorkerPool
+
+__all__ = [
+    "CalibrationReport",
+    "ParallelBackend",
+    "QueryCalibration",
+    "TaskOutcome",
+    "TaskRecord",
+    "WorkerPool",
+    "calibrate",
+    "fig08_scan_queries",
+    "fig13_join_queries",
+    "strip_repartitions",
+]

@@ -1,0 +1,281 @@
+"""The multi-core execution backend (``execution_backend="parallel"``).
+
+:class:`ParallelBackend` replays already-compiled :class:`TaskSchedule`\\ s
+on a persistent :class:`~repro.parallel.pool.WorkerPool` — one worker per
+simulated machine (folded modulo ``num_workers``).  Block columns reach the
+workers through shared-memory segments pinned by a
+:class:`~repro.storage.shared_memory.SharedBlockStore`; pins are
+epoch-checked, so any repartition between queries rebuilds the affected
+table's segment before the next dispatch.
+
+Determinism contract: the parent merges worker outcomes **in task-id
+order within each stage** — exactly the order the in-process engine
+executes placements — through the same
+:meth:`~repro.exec.engine.Executor.begin_schedule` /
+``apply_*`` / :meth:`~repro.exec.engine.Executor.finish_schedule`
+accounting, so ``QueryResult.fingerprint()`` is bit-identical to
+:class:`~repro.api.backends.TaskBackend`.  The only parallel-specific
+fields are the wall-clock measurements (``wall_seconds`` /
+``machine_wall_seconds``), which fingerprints exclude.
+
+The two-stage dispatch mirrors the schedule's shuffle barrier: stage 0
+(scans, shuffle maps, hyper groups) fans out first; the returned map
+outcomes are merged into the join states, and only then are stage 1
+reduce payloads — carrying the concatenated per-partition key arrays —
+built and fanned out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster
+from ..core.config import AdaptDBConfig
+from ..core.optimizer import QueryPlan
+from ..exec.engine import Executor, JoinState
+from ..exec.kernels_tasks import (
+    apply_hyper_group_outcome,
+    apply_scan_outcome,
+    apply_shuffle_map_outcome,
+    apply_shuffle_reduce_outcome,
+)
+from ..exec.result import QueryResult
+from ..exec.scheduler import CompiledPlan, Scheduler, compile_plan
+from ..exec.tasks import Task, TaskKind, TaskSchedule
+from ..storage.catalog import Catalog
+from ..storage.shared_memory import SharedBlockStore, TablePin
+from .pool import (
+    HyperGroupPayload,
+    Payload,
+    ScanPayload,
+    ShuffleMapPayload,
+    ShuffleReducePayload,
+    TaskOutcome,
+    WorkerPool,
+    _wall,
+)
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Per-task measurement retained for the calibration harness."""
+
+    task_id: int
+    kind: str
+    machine_id: int
+    cost_units: float
+    wall_seconds: float
+
+
+@dataclass
+class ParallelBackend:
+    """True multi-core execution behind the backend protocol."""
+
+    catalog: Catalog
+    cluster: Cluster
+    config: AdaptDBConfig
+    name: str = "parallel"
+    #: Replays the lowered task schedule, like the task backend.
+    consumes_schedule = True
+    executor: Executor = field(init=False)
+    store: SharedBlockStore = field(init=False)
+    #: Per-task wall measurements of the most recent execution (reporting
+    #: and calibration only — never consulted by planning).
+    last_task_records: list[TaskRecord] = field(init=False, default_factory=list)
+    _pool: WorkerPool | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.executor = Executor(
+            catalog=self.catalog, cluster=self.cluster, config=self.config
+        )
+        self.store = SharedBlockStore()
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        """Pool size: ``config.num_workers`` or one worker per machine."""
+        return self.config.num_workers or self.cluster.num_machines
+
+    def ensure_pool(self) -> WorkerPool:
+        """Start (or restart after a crash/close) the worker pool lazily."""
+        if self._pool is not None and not self._pool.alive:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = WorkerPool(self.num_workers, self.config.worker_start_method)
+        return self._pool
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The current pool, if one has been started."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool and unlink every pinned segment."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self.store.close()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, physical) -> QueryResult:
+        """Run a physical plan's schedule on the worker pool."""
+        if physical.schedule_elided:
+            # The plan was lowered for a schedule-free backend (e.g. the
+            # session's backend was switched afterwards): compile fresh.
+            compiled = compile_plan(
+                physical.logical, self.catalog, self.cluster, self.config
+            )
+            schedule = Scheduler(self.cluster.num_machines).schedule(compiled.tasks)
+        else:
+            compiled, schedule = physical.compiled, physical.schedule
+        return self.execute_schedule(physical.logical, compiled, schedule)
+
+    def execute_schedule(
+        self, plan: QueryPlan, compiled: CompiledPlan, schedule: TaskSchedule
+    ) -> QueryResult:
+        """Dispatch a compiled schedule to the pool and merge the outcomes."""
+        pool = self.ensure_pool()
+        result, states = self.executor.begin_schedule(plan, compiled)
+        placements = schedule.placements()
+        machine_of = {task.task_id: machine_id for machine_id, task in placements}
+        task_of = {task.task_id: task for _, task in placements}
+        records: list[TaskRecord] = []
+        machine_wall = [0.0] * self.cluster.num_machines
+        started = _wall()
+
+        # Stage 0: scans, shuffle maps, hyper groups (repartitions are
+        # cost-only no-ops the accounting already charged).
+        dispatched = 0
+        for machine_id, task in placements:
+            if task.stage != 0 or task.kind is TaskKind.REPARTITION:
+                continue
+            payload = self._stage0_payload(plan, states, task)
+            # Mirror the in-process engine's DFS accounting so locality
+            # statistics match TaskBackend's (block data itself travels via
+            # shared memory, not through this call).
+            self._account_reads(task, machine_id, states)
+            pool.submit(machine_id, payload)
+            dispatched += 1
+        outcomes = pool.collect(dispatched)
+        for outcome in sorted(outcomes, key=lambda o: o.task_id):
+            task = task_of[outcome.task_id]
+            self._apply_stage0(plan, states, result, task, outcome)
+            machine_id = machine_of[outcome.task_id]
+            machine_wall[machine_id] += outcome.wall_seconds
+            records.append(self._record(task, machine_id, outcome))
+
+        # Stage 1: shuffle reduces, fed from the merged map partitions.
+        dispatched = 0
+        for machine_id, task in placements:
+            if task.stage == 0 or task.kind is not TaskKind.SHUFFLE_REDUCE:
+                continue
+            state = states[task.join_index]
+            pool.submit(
+                machine_id,
+                ShuffleReducePayload(
+                    task_id=task.task_id,
+                    build_keys=state.partition_keys("build", task.partition_index),
+                    probe_keys=state.partition_keys("probe", task.partition_index),
+                ),
+            )
+            dispatched += 1
+        outcomes = pool.collect(dispatched)
+        for outcome in sorted(outcomes, key=lambda o: o.task_id):
+            task = task_of[outcome.task_id]
+            apply_shuffle_reduce_outcome(states[task.join_index], outcome.rows)
+            machine_id = machine_of[outcome.task_id]
+            machine_wall[machine_id] += outcome.wall_seconds
+            records.append(self._record(task, machine_id, outcome))
+
+        result = self.executor.finish_schedule(plan, schedule, states, result)
+        result.wall_seconds = _wall() - started
+        result.machine_wall_seconds = machine_wall
+        self.last_task_records = sorted(records, key=lambda r: r.task_id)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Payload construction / outcome merging
+    # ------------------------------------------------------------------ #
+    def _pin(self, table_name: str) -> TablePin:
+        return self.store.pin_table(self.catalog.get(table_name))
+
+    def _stage0_payload(
+        self, plan: QueryPlan, states: list[JoinState], task: Task
+    ) -> Payload:
+        if task.kind is TaskKind.SCAN:
+            assert task.table is not None
+            return ScanPayload(
+                task_id=task.task_id,
+                pin=self._pin(task.table),
+                block_ids=tuple(task.block_ids),
+                predicates=tuple(plan.query.predicates_on(task.table)),
+            )
+        state = states[task.join_index]
+        decision = state.decision
+        if task.kind is TaskKind.SHUFFLE_MAP:
+            assert task.table is not None
+            return ShuffleMapPayload(
+                task_id=task.task_id,
+                pin=self._pin(task.table),
+                block_ids=tuple(task.block_ids),
+                key_column=decision.clause.column_for(task.table),
+                predicates=tuple(plan.query.predicates_on(task.table)),
+                num_partitions=state.num_partitions,
+            )
+        return HyperGroupPayload(
+            task_id=task.task_id,
+            build_pin=self._pin(decision.build_table),
+            probe_pin=self._pin(decision.probe_table),
+            build_block_ids=tuple(task.block_ids),
+            probe_block_ids=tuple(task.probe_block_ids),
+            build_column=decision.clause.column_for(decision.build_table),
+            probe_column=decision.clause.column_for(decision.probe_table),
+            build_predicates=tuple(plan.query.predicates_on(decision.build_table)),
+            probe_predicates=tuple(plan.query.predicates_on(decision.probe_table)),
+        )
+
+    def _apply_stage0(
+        self,
+        plan: QueryPlan,
+        states: list[JoinState],
+        result: QueryResult,
+        task: Task,
+        outcome: TaskOutcome,
+    ) -> None:
+        if task.kind is TaskKind.SCAN:
+            apply_scan_outcome(result, task, outcome.rows)
+        elif task.kind is TaskKind.SHUFFLE_MAP:
+            assert outcome.parts is not None
+            apply_shuffle_map_outcome(states[task.join_index], task, outcome.parts)
+        else:
+            apply_hyper_group_outcome(states[task.join_index], task, outcome.rows)
+
+    def _account_reads(
+        self, task: Task, machine_id: int, states: list[JoinState]
+    ) -> None:
+        """Charge the task's block reads to the DFS locality counters."""
+        if task.kind is TaskKind.HYPER_GROUP:
+            table_name = states[task.join_index].decision.build_table
+        else:
+            assert task.table is not None
+            table_name = task.table
+        dfs = self.catalog.get(table_name).dfs
+        if task.block_ids:
+            dfs.get_blocks(task.block_ids, machine_id)
+        if task.probe_block_ids:
+            dfs.get_blocks(task.probe_block_ids, machine_id)
+
+    @staticmethod
+    def _record(task: Task, machine_id: int, outcome: TaskOutcome) -> TaskRecord:
+        return TaskRecord(
+            task_id=task.task_id,
+            kind=task.kind.value,
+            machine_id=machine_id,
+            cost_units=task.cost_units,
+            wall_seconds=outcome.wall_seconds,
+        )

@@ -1,0 +1,299 @@
+"""Persistent worker pool for the multi-core execution backend.
+
+One worker process per simulated machine (folded modulo ``num_workers``
+when the pool is smaller than the cluster).  Workers receive small
+picklable *payloads* — task ids, shared-memory pins
+(:class:`~repro.storage.shared_memory.TablePin`), block ids, predicates —
+never live ``Block``/``StoredTable`` objects: block columns travel through
+the pinned shared-memory segments, and only shuffle keys and row counts
+cross the queues.  Each worker runs exactly the task kernels the
+in-process engine runs (``repro.exec.kernels_tasks``), so the parent can
+merge outcomes through the same accounting and stay bit-identical.
+
+Timing discipline: workers stamp each task with a wall-clock duration via
+the single marked helper below.  The measured times feed *reporting only*
+(``QueryResult.wall_seconds`` and the calibration harness) — never a
+decision, never a fingerprint — which is why the wall-clock reads are
+``# repro: allow``-ed for the determinism checker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..common.errors import ExecutionError
+from ..common.predicates import Predicate
+from ..exec.kernels_tasks import (
+    run_hyper_group_task,
+    run_scan_task,
+    run_shuffle_map_task,
+    run_shuffle_reduce_task,
+)
+from ..storage.shared_memory import SharedSegmentCache, TablePin
+
+
+def _wall() -> float:
+    """The pool's only wall-clock source (reporting-only measurements).
+
+    Measured task durations are reported on ``QueryResult.wall_seconds``
+    and in the calibration harness; they never feed a planning decision or
+    a fingerprint, hence the determinism-checker waiver.
+    """
+    # repro: allow[no-wall-clock]
+    return time.perf_counter()
+
+
+# --------------------------------------------------------------------- #
+# Task payloads (picklable; ids + pins + flat data only)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScanPayload:
+    """One scan task: count rows of ``block_ids`` matching ``predicates``."""
+
+    task_id: int
+    pin: TablePin
+    block_ids: tuple[int, ...]
+    predicates: tuple[Predicate, ...]
+
+
+@dataclass(frozen=True)
+class ShuffleMapPayload:
+    """One shuffle-map task: filter and hash-partition join keys."""
+
+    task_id: int
+    pin: TablePin
+    block_ids: tuple[int, ...]
+    key_column: str
+    predicates: tuple[Predicate, ...]
+    num_partitions: int
+
+
+@dataclass(frozen=True)
+class ShuffleReducePayload:
+    """One shuffle-reduce task: join cardinality of one partition's keys."""
+
+    task_id: int
+    build_keys: np.ndarray
+    probe_keys: np.ndarray
+
+
+@dataclass(frozen=True)
+class HyperGroupPayload:
+    """One hyper-join group: build one histogram, probe overlapping blocks."""
+
+    task_id: int
+    build_pin: TablePin
+    probe_pin: TablePin
+    build_block_ids: tuple[int, ...]
+    probe_block_ids: tuple[int, ...]
+    build_column: str
+    probe_column: str
+    build_predicates: tuple[Predicate, ...]
+    probe_predicates: tuple[Predicate, ...]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What a worker reports back for one executed task."""
+
+    task_id: int
+    rows: int
+    blocks_read: int
+    wall_seconds: float
+    #: Shuffle-map only: one key array per target partition.
+    parts: tuple[np.ndarray, ...] | None = None
+
+
+Payload = ScanPayload | ShuffleMapPayload | ShuffleReducePayload | HyperGroupPayload
+
+
+# --------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------- #
+def _execute_payload(payload: Payload, cache: SharedSegmentCache) -> TaskOutcome:
+    started = _wall()
+    if isinstance(payload, ScanPayload):
+        blocks = cache.get_blocks(payload.pin, list(payload.block_ids))
+        rows = run_scan_task(blocks, list(payload.predicates))
+        return TaskOutcome(payload.task_id, rows, len(payload.block_ids), _wall() - started)
+    if isinstance(payload, ShuffleMapPayload):
+        blocks = cache.get_blocks(payload.pin, list(payload.block_ids))
+        parts = run_shuffle_map_task(
+            blocks,
+            payload.key_column,
+            list(payload.predicates),
+            payload.num_partitions,
+        )
+        return TaskOutcome(
+            payload.task_id,
+            0,
+            len(payload.block_ids),
+            _wall() - started,
+            parts=tuple(parts),
+        )
+    if isinstance(payload, ShuffleReducePayload):
+        rows = run_shuffle_reduce_task(payload.build_keys, payload.probe_keys)
+        return TaskOutcome(payload.task_id, rows, 0, _wall() - started)
+    build_blocks = cache.get_blocks(payload.build_pin, list(payload.build_block_ids))
+    probe_blocks = cache.get_blocks(payload.probe_pin, list(payload.probe_block_ids))
+    rows = run_hyper_group_task(
+        build_blocks,
+        probe_blocks,
+        payload.build_column,
+        payload.probe_column,
+        list(payload.build_predicates),
+        list(payload.probe_predicates),
+    )
+    blocks_read = len(payload.build_block_ids) + len(payload.probe_block_ids)
+    return TaskOutcome(payload.task_id, rows, blocks_read, _wall() - started)
+
+
+def _worker_main(worker_index: int, tasks: Any, results: Any) -> None:
+    """Worker loop: execute payloads until the ``None`` sentinel arrives."""
+    cache = SharedSegmentCache()
+    try:
+        while True:
+            payload = tasks.get()
+            if payload is None:
+                return
+            try:
+                outcome = _execute_payload(payload, cache)
+            except BaseException as exc:  # noqa: BLE001 - report, don't die
+                results.put(
+                    ("error", worker_index, payload.task_id,
+                     f"{exc!r}\n{traceback.format_exc()}")
+                )
+            else:
+                results.put(("ok", worker_index, outcome))
+    finally:
+        cache.close()
+
+
+# --------------------------------------------------------------------- #
+# Parent-side pool
+# --------------------------------------------------------------------- #
+class WorkerPool:
+    """A persistent pool of task-executing worker processes.
+
+    One task queue per worker (the backend maps machine ids onto workers,
+    so placement survives the process boundary) and one shared result
+    queue.  Workers are daemons: even an abandoned pool cannot outlive the
+    parent process.
+    """
+
+    def __init__(self, num_workers: int, start_method: str | None = None) -> None:
+        if num_workers < 1:
+            raise ExecutionError("WorkerPool needs at least one worker")
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self.num_workers = num_workers
+        self.start_method = start_method
+        ctx = multiprocessing.get_context(start_method)
+        self._results: Any = ctx.Queue()
+        self._task_queues: list[Any] = [ctx.Queue() for _ in range(num_workers)]
+        self._workers = []
+        for index in range(num_workers):
+            process = ctx.Process(
+                target=_worker_main,
+                args=(index, self._task_queues[index], self._results),
+                daemon=True,
+                name=f"repro-parallel-{index}",
+            )
+            process.start()
+            self._workers.append(process)
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    # Dispatch / collect
+    # -------------------------------------------------------------- #
+    def submit(self, worker_index: int, payload: Payload) -> None:
+        """Enqueue ``payload`` on one worker's task queue."""
+        if self._closed:
+            raise ExecutionError("WorkerPool is closed")
+        self._task_queues[worker_index % self.num_workers].put(payload)
+
+    def collect(self, count: int, timeout: float = 60.0) -> list[TaskOutcome]:
+        """Gather ``count`` outcomes, raising if a worker dies or errors.
+
+        ``timeout`` bounds the wait per outcome *between* liveness checks —
+        a crashed worker (e.g. killed by a signal, so it cannot report) is
+        detected within about a second rather than after the full timeout.
+        """
+        outcomes: list[TaskOutcome] = []
+        deadline = _wall() + timeout
+        while len(outcomes) < count:
+            try:
+                item = self._results.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [w.name for w in self._workers if not w.is_alive()]
+                if dead:
+                    raise ExecutionError(
+                        f"worker process(es) died during execution: {dead}"
+                    ) from None
+                if _wall() > deadline:
+                    raise ExecutionError(
+                        f"timed out collecting task outcomes ({len(outcomes)}/{count})"
+                    ) from None
+                continue
+            if item[0] == "error":
+                _, worker_index, task_id, detail = item
+                raise ExecutionError(
+                    f"task {task_id} failed on worker {worker_index}: {detail}"
+                )
+            outcomes.append(item[2])
+        return outcomes
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+    @property
+    def alive(self) -> bool:
+        """Whether every worker process is still running."""
+        return not self._closed and all(w.is_alive() for w in self._workers)
+
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Shut the pool down: sentinel every worker, then join/terminate.
+
+        During interpreter finalization (a pool dropped without ``close()``
+        reaches here via ``__del__`` at exit) queue operations are skipped
+        entirely: a sentinel ``put`` on a queue whose feeder thread never
+        started would call ``Thread.start()``, which deadlocks once the
+        interpreter stops admitting new threads.  The workers are daemons,
+        so terminating them directly is safe and sufficient.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        finalizing = sys.is_finalizing()
+        if not finalizing:
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover - torn down
+                    pass
+        for worker in self._workers:
+            if finalizing:
+                worker.terminate()
+            worker.join(timeout=join_timeout)
+            if worker.is_alive():  # pragma: no cover - stuck worker
+                worker.terminate()
+                worker.join(timeout=1.0)
+        if not finalizing:
+            for task_queue in [*self._task_queues, self._results]:
+                task_queue.close()
+                task_queue.join_thread()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close(join_timeout=0.5)
+        except Exception:
+            pass
