@@ -51,6 +51,7 @@ import numpy as np
 from repro.api import Session
 from repro.baselines.runners import AdaptDBRunner
 from repro.common.predicates import between
+from repro.common.query import join_query
 from repro.common.rng import make_rng
 from repro.core.config import AdaptDBConfig
 from repro.partitioning.two_phase import TwoPhasePartitioner
@@ -178,6 +179,127 @@ def run_plan_cache_benchmark(
         "hit_rate": round(hits / len(cached_results), 4),
         "results_identical": identical,
         "session_cache_stats": cached_session.cache_stats(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Incremental-planning benchmark (cold vs. delta-patched replans)
+# --------------------------------------------------------------------------- #
+
+def run_incremental_planning_benchmark(
+    scale: float,
+    rows_per_block: int,
+    repeats: int,
+    seed: int = 1,
+) -> dict:
+    """Cold vs. delta-patched planning across epoch bumps.
+
+    A fig13-style ``lineitem ⋈ orders`` template repeats while background
+    adaptation (Amoeba-style leaf re-splits) bumps ``lineitem``'s epoch
+    between consecutive queries, so *every* measured query faces a stale
+    plan cache.  The workload runs in two sessions differing only in
+    ``AdaptDBConfig.incremental_planning``:
+
+    * **cold** — every epoch bump forces a full replan (peek every block,
+      recompute the overlap matrix and grouping from scratch),
+    * **patched** — the planner consults the tables' change descriptors and
+      patches cached state: whole-plan revalidation when the re-split is
+      disjoint from the template's relevant set, hyper-plan delta upgrades
+      when it is not.
+
+    Most re-splits land outside the template's predicate window (the
+    revalidation regime); every third lands wherever the tree offers,
+    inside or out (exercising the upgrade path too).  Reported: summed
+    planning seconds per mode, the speedup, the patch counters, and
+    whether every per-query result fingerprint is bit-identical between
+    the modes (it must be — patching may only change planning time).
+    """
+    window = (5.0, 20.0)
+
+    def fig13_query():
+        return join_query(
+            "lineitem",
+            "orders",
+            "l_orderkey",
+            "o_orderkey",
+            predicates={"lineitem": [between("l_quantity", *window)]},
+        )
+
+    def resplit_background(table, fraction: float, disjoint: bool) -> bool:
+        """Deterministic Amoeba-style re-split of one bottom leaf pair.
+
+        With ``disjoint`` the chosen node's path bounds on ``l_quantity``
+        must avoid the template's window, so the re-split provably leaves
+        the query's relevant block set untouched.
+        """
+        for tree_id in sorted(table.trees):
+            tree = table.tree(tree_id)
+            for node, bounds in tree.bottom_internal_nodes():
+                if disjoint:
+                    quantity = bounds.get("l_quantity")
+                    if quantity is None or not (
+                        quantity[1] < window[0] or quantity[0] > window[1]
+                    ):
+                        continue
+                left_id, right_id = node.left.block_id, node.right.block_id
+                ranges = [
+                    block_range
+                    for block_range in (
+                        table.join_range_of_block(left_id, node.attribute),
+                        table.join_range_of_block(right_id, node.attribute),
+                    )
+                    if block_range is not None
+                ]
+                if not ranges:
+                    continue
+                low = min(r[0] for r in ranges)
+                high = max(r[1] for r in ranges)
+                if not low < high:
+                    continue
+                cutpoint = low + (high - low) * fraction
+                if cutpoint == node.cutpoint:
+                    cutpoint = low + (high - low) * 0.5
+                tree.resplit_node(node, node.attribute, cutpoint)
+                table.resplit_leaf_pair(left_id, right_id, node.attribute, cutpoint)
+                return True
+        return False
+
+    def run_once(incremental: bool):
+        config = AdaptDBConfig(
+            rows_per_block=rows_per_block, buffer_blocks=8, seed=seed,
+            incremental_planning=incremental,
+        )
+        session = Session(config=config)
+        tables = TPCHGenerator(scale=scale, seed=seed).generate(["lineitem", "orders"])
+        for table in tables.values():
+            session.load_table(table)
+        results = [session.run(fig13_query(), adapt=True)]  # converge adaptation
+        table = session.table("lineitem")
+        for step in range(repeats):
+            resplit_background(
+                table, 0.30 + 0.04 * (step % 10), disjoint=step % 3 != 2
+            )
+            results.append(session.run(fig13_query(), adapt=False))
+        stats = session.cache_stats()
+        session.close()
+        return results, stats
+
+    patched_results, patched_stats = run_once(True)
+    cold_results, cold_stats = run_once(False)
+    cold_planning = sum(r.planning_seconds for r in cold_results[1:])
+    patched_planning = sum(r.planning_seconds for r in patched_results[1:])
+    identical = [r.fingerprint() for r in patched_results] == [
+        r.fingerprint() for r in cold_results
+    ]
+    return {
+        "measured_queries": len(patched_results) - 1,
+        "cold_planning_seconds": round(cold_planning, 6),
+        "patched_planning_seconds": round(patched_planning, 6),
+        "planning_speedup": round(cold_planning / max(patched_planning, 1e-9), 2),
+        "results_identical": identical,
+        "hyper_upgrades": patched_stats["hyper_upgrades"],
+        "plan_revalidations": patched_stats["plan_revalidations"],
+        "cold_hyper_misses": cold_stats["hyper_misses"],
     }
 
 
@@ -348,6 +470,9 @@ def run_suite(smoke: bool) -> dict:
         plan_cache = run_plan_cache_benchmark(
             scale=0.02, rows_per_block=64, warmup_per_template=6, repeats=3
         )
+        incremental = run_incremental_planning_benchmark(
+            scale=0.05, rows_per_block=64, repeats=9
+        )
         sim = run_sim_workload_benchmark(
             scale=0.02, rows_per_block=128, num_clients=4, queries_per_client=2,
             background_repartition_blocks=64,
@@ -361,6 +486,9 @@ def run_suite(smoke: bool) -> dict:
         plan_cache = run_plan_cache_benchmark(
             scale=0.1, rows_per_block=64, warmup_per_template=12, repeats=5
         )
+        incremental = run_incremental_planning_benchmark(
+            scale=0.1, rows_per_block=64, repeats=12
+        )
         sim = run_sim_workload_benchmark(
             scale=0.1, rows_per_block=512, num_clients=4, queries_per_client=4,
             background_repartition_blocks=200,
@@ -370,6 +498,7 @@ def run_suite(smoke: bool) -> dict:
         "mode": "smoke" if smoke else "full",
         "end_to_end": e2e,
         "plan_cache": plan_cache,
+        "incremental_planning": incremental,
         "sim": sim,
         "micro": {
             "lookup": bench_lookup(micro_rows, micro_rpb, iters),
@@ -401,6 +530,39 @@ def check_plan_cache(post: dict) -> int:
     return status
 
 
+def check_incremental(post: dict) -> int:
+    """Gate the incremental-planning benchmark.
+
+    Fatal if the patched and cold runs differ in any result fingerprint,
+    if the delta machinery never engaged, or if patching did not make
+    post-epoch-bump planning at least 2x faster.
+    """
+    incremental = post.get("incremental_planning")
+    if not incremental:
+        return 0
+    print(f"incremental planning: {incremental['cold_planning_seconds']}s cold -> "
+          f"{incremental['patched_planning_seconds']}s patched "
+          f"({incremental['planning_speedup']}x), "
+          f"{incremental['plan_revalidations']} revalidations, "
+          f"{incremental['hyper_upgrades']} hyper upgrades, "
+          f"results identical: {incremental['results_identical']}")
+    status = 0
+    if not incremental["results_identical"]:
+        print("ERROR: delta-patched and cold planning produced different "
+              "result fingerprints", file=sys.stderr)
+        status = 1
+    if incremental["plan_revalidations"] + incremental["hyper_upgrades"] <= 0:
+        print("ERROR: the delta machinery never engaged (no revalidations or "
+              "upgrades)", file=sys.stderr)
+        status = 1
+    if incremental["planning_speedup"] < 2.0:
+        print(f"ERROR: incremental planning speedup "
+              f"{incremental['planning_speedup']}x is below the 2x threshold",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
 def check_sim(post: dict) -> int:
     """Gate the sim benchmark: the concurrent run must be deterministic."""
     sim = post.get("sim")
@@ -424,7 +586,9 @@ def check_sim(post: dict) -> int:
 def compare(data: dict) -> int:
     """Report pre/post speedup and fingerprint equality; non-zero on mismatch."""
     post = data.get("post")
-    status = (check_plan_cache(post) + check_sim(post)) if post else 0
+    status = (
+        check_plan_cache(post) + check_incremental(post) + check_sim(post)
+    ) if post else 0
     pre = data.get("pre")
     if not (pre and post):
         return status

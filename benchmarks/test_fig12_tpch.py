@@ -14,6 +14,8 @@ def test_fig12_tpch_per_template(benchmark, show):
         scale=0.12,
         warmup_queries=10,
         measured_queries=3,
+        # The shape assertions pin the serial cost model (see tests/test_experiments.py).
+        runtime_model="serial",
     )
     show(result)
 

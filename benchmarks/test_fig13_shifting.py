@@ -13,6 +13,7 @@ def test_fig13b_shifting_workload(benchmark, show):
         fig13_adaptation.run_shifting,
         scale=0.1,
         transition_length=8,
+        runtime_model="serial",
     )
     show(result)
     assert result.notes["improvement_vs_full_scan"] > 1.3, "paper: roughly 2x over full scan"

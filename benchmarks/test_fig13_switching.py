@@ -13,6 +13,7 @@ def test_fig13a_switching_workload(benchmark, show):
         fig13_adaptation.run_switching,
         scale=0.1,
         queries_per_template=8,
+        runtime_model="serial",
     )
     show(result)
     assert result.notes["improvement_vs_full_scan"] > 1.5, "paper: ~2x or better over full scan"

@@ -8,7 +8,7 @@ from repro.testing import run_once
 
 
 def test_fig18_cmt_trace(benchmark, show):
-    result = run_once(benchmark, fig18_cmt.run, scale=0.1, num_queries=103)
+    result = run_once(benchmark, fig18_cmt.run, scale=0.1, num_queries=103, runtime_model="serial")
     show(result)
     assert result.notes["improvement_vs_full_scan"] > 1.5, (
         "paper: AdaptDB roughly halves total runtime vs full scan"

@@ -41,6 +41,8 @@ RULE_REGISTRATION = "cache-key-registration"
 MUTABLE_ATTRS = frozenset(
     {
         "lookup",
+        "lookup_contains",
+        "lookup_block",
         "non_empty_block_ids",
         "block_ids",
         "peek_block",
@@ -58,6 +60,7 @@ MUTABLE_ATTRS = frozenset(
         "num_trees",
         "tree_of_block",
         "join_range_of_block",
+        "delta_between",
         "columns",
         "num_blocks",
         "blocks_of_table",

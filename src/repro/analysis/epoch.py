@@ -21,6 +21,16 @@ returns to a caller.  Two rules enforce that:
     directly (``table._tree_rows[x] = ...`` from the optimizer, say).
     Constructors writing ``self.<field>`` are exempt.
 
+``epoch-descriptor``
+    Every ``bump_epoch()`` call must pass a change descriptor
+    (:class:`repro.common.epochs.PartitionDelta`).  The incremental
+    planner patches cached overlap matrices, groupings and plans from
+    these descriptors; a bare bump would silently record "nothing we
+    can describe" as an empty delta and let stale state survive.  A
+    site that genuinely cannot describe its change must say so with
+    ``PartitionDelta.full_change()`` — there is no argument-free escape
+    hatch.
+
 The per-method analysis is a small path-sensitive dataflow over three
 states — no mutation yet, mutated-unbumped, bumped — tracking the *set*
 of possible states per program point.  A bump in a statement wins over a
@@ -46,6 +56,7 @@ from .framework import (
 
 RULE_DISCIPLINE = "epoch-discipline"
 RULE_DIRECT_WRITE = "epoch-direct-write"
+RULE_DESCRIPTOR = "epoch-descriptor"
 
 #: Partition-state fields per owning class.  Derived caches that are
 #: recomputed on demand (compiled trees, ``_empty_template``) and pure
@@ -501,15 +512,48 @@ def _check_direct_writes(source: SourceFile, context: AnalysisContext) -> list[V
     return violations
 
 
+def _check_bump_descriptors(
+    source: SourceFile, context: AnalysisContext
+) -> list[Violation]:
+    """Flag ``bump_epoch()`` calls that carry no change descriptor."""
+    violations: list[Violation] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name != "bump_epoch":
+            continue
+        if node.args or node.keywords:
+            continue
+        violations.append(
+            Violation(
+                rule=RULE_DESCRIPTOR,
+                path=source.path,
+                line=node.lineno,
+                message="bump_epoch() called without a change descriptor",
+                hint=(
+                    "pass a PartitionDelta describing what changed, or "
+                    "PartitionDelta.full_change() if the change cannot be "
+                    "described"
+                ),
+            )
+        )
+    return violations
+
+
 def check(source: SourceFile, context: AnalysisContext) -> list[Violation]:
     violations = _check_owner_classes(source, context)
     violations.extend(_check_external_mutator_calls(source, context))
     violations.extend(_check_direct_writes(source, context))
+    violations.extend(_check_bump_descriptors(source, context))
     return violations
 
 
 CHECKER = Checker(
     name="epoch",
-    rules=(RULE_DISCIPLINE, RULE_DIRECT_WRITE),
+    rules=(RULE_DISCIPLINE, RULE_DIRECT_WRITE, RULE_DESCRIPTOR),
     check=check,
 )

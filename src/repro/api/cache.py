@@ -21,7 +21,7 @@ without adaptation work, the compiled + scheduled physical skeleton.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from ..common.lru import BoundedLRU
@@ -71,6 +71,10 @@ class CachedPlan:
     ``compiled``/``schedule`` stay ``None`` until the plan was lowered for a
     query without adaptation work — repartition tasks belong to the query
     that triggered them and must never be replayed from a cache.
+
+    ``relevant_blocks`` records, per table, the relevant-block set the plan
+    was computed from — the evidence the revalidation pass compares against
+    the current partition state (see ``Session._revalidate``).
     """
 
     scan_tables: list[str]
@@ -78,7 +82,31 @@ class CachedPlan:
     join_decisions: "list[JoinDecision]"
     compiled: "CompiledPlan | None" = None
     schedule: "TaskSchedule | None" = None
+    relevant_blocks: dict[str, list[int]] = field(default_factory=dict)
 
 
+@dataclass
 class PlanCache(BoundedLRU[tuple[object, ...], CachedPlan]):
-    """A bounded LRU from ``(signature, epochs)`` keys to :class:`CachedPlan`."""
+    """A bounded LRU from ``(signature, epochs)`` keys to :class:`CachedPlan`.
+
+    Besides exact-match lookups, the cache keeps a per-signature index of
+    the newest key so the session can find the entry a changed epoch
+    orphaned and *revalidate* it against the tables' change descriptors
+    instead of replanning (``revalidations`` counts the rescues).
+    """
+
+    revalidations: int = 0
+    _latest: dict[object, tuple[object, ...]] = field(default_factory=dict, repr=False)
+
+    def put(self, key: tuple[object, ...], value: CachedPlan) -> None:
+        super().put(key, value)
+        if self.capacity > 0:
+            self._latest[key[0]] = key
+
+    def latest_key(self, signature: object) -> tuple[object, ...] | None:
+        """The newest cache key recorded for ``signature`` (may be evicted)."""
+        key = self._latest.get(signature)
+        if key is not None and self.peek(key) is None:
+            del self._latest[signature]  # the entry aged out of the LRU
+            return None
+        return key

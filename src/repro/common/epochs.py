@@ -20,11 +20,22 @@ decorators that ``repro.analysis`` (and code reviewers) can key off:
 
 Both decorators only attach attributes; they add no call overhead and
 import nothing from the rest of the package.
+
+Since the incremental plan-state maintenance work, a bump additionally
+carries a **change descriptor** (:class:`PartitionDelta`): which blocks
+were rewritten or dropped and which trees were re-split, added or
+removed.  Descriptors are recorded in a bounded per-table delta chain
+(:meth:`repro.storage.table.StoredTable.delta_between`), which is what
+lets the planning layers *patch* cached overlap matrices, groupings and
+compiled schedules across epoch bumps instead of recomputing them.  The
+``epoch-descriptor`` static rule rejects any ``bump_epoch()`` call that
+does not pass one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, TypeVar
 
 F = TypeVar("F", bound=Callable[..., object])
 
@@ -74,3 +85,70 @@ def epoch_keyed_reads(func: object) -> tuple[str, ...] | None:
     if reads is None:
         return None
     return tuple(reads)
+
+
+@dataclass
+class PartitionDelta:
+    """Change descriptor for one (or a merged run of) epoch bump(s).
+
+    Every ``bump_epoch(delta)`` call records one of these in the owning
+    table's bounded delta chain.  The descriptor is deliberately *mutable*:
+    the epoch-discipline checker requires the bump to precede the mutation,
+    so the mutating method registers the descriptor first and fills in the
+    affected ids as the mutation proceeds — by the time any planning layer
+    reads the chain (always after the mutation returned), the descriptor is
+    complete.
+
+    Attributes:
+        blocks_changed: Block ids whose *contents* (rows, and therefore
+            ranges and emptiness) changed — appended to, cleared, or
+            rewritten by a re-split.
+        blocks_dropped: Block ids deleted from the table.
+        trees_resplit: Tree ids whose internal split nodes changed
+            (Amoeba transforms) — lookups over these trees may differ, but
+            the tree *set* (and join-attribute classification) is intact.
+        trees_added: Tree ids newly registered with the table.
+        trees_dropped: Tree ids removed from the table.
+        full: Blanket change — everything may differ (initial load, full
+            repartitioning).  Consumers must fall back to a recompute.
+    """
+
+    blocks_changed: set[int] = field(default_factory=set)
+    blocks_dropped: set[int] = field(default_factory=set)
+    trees_resplit: set[int] = field(default_factory=set)
+    trees_added: set[int] = field(default_factory=set)
+    trees_dropped: set[int] = field(default_factory=set)
+    full: bool = False
+
+    @classmethod
+    def full_change(cls) -> "PartitionDelta":
+        """A blanket descriptor: cached state must be rebuilt from scratch."""
+        return cls(full=True)
+
+    @classmethod
+    def merged(cls, deltas: Iterable["PartitionDelta"]) -> "PartitionDelta":
+        """Combine a chain of descriptors into one (never mutates inputs)."""
+        result = cls()
+        for delta in deltas:
+            if delta.full:
+                return cls.full_change()
+            result.blocks_changed |= delta.blocks_changed
+            result.blocks_dropped |= delta.blocks_dropped
+            result.trees_resplit |= delta.trees_resplit
+            result.trees_added |= delta.trees_added
+            result.trees_dropped |= delta.trees_dropped
+        return result
+
+    @property
+    def touched_blocks(self) -> set[int]:
+        """Blocks whose cached per-block state (rows, ranges) is stale."""
+        return self.blocks_changed | self.blocks_dropped
+
+    def preserves_tree_set(self) -> bool:
+        """Whether the table's tree set (and join classification) survived.
+
+        Re-splits inside existing trees are fine — they change lookups, not
+        which trees exist or their join attributes; adding or dropping a
+        tree can flip the optimizer's structural join classification.
+        """
+        return not self.full and not self.trees_added and not self.trees_dropped

@@ -70,6 +70,15 @@ class BoundedLRU(Generic[K, V]):
         self.hits += 1
         return value
 
+    def peek(self, key: K) -> V | None:
+        """Return the value for ``key`` without recency or counter updates.
+
+        Used by delta-upgrade paths that inspect a stale entry they are
+        about to replace — inspecting it is neither a hit nor a miss.
+        """
+        self._check_key(key)
+        return self._entries.get(key)
+
     def put(self, key: K, value: V) -> None:
         """Insert ``value`` under ``key``, evicting least-recently-used entries."""
         if self.capacity <= 0:

@@ -63,6 +63,20 @@ class AdaptDBConfig:
             spreading for free.
         plan_cache_size: Capacity of the session's epoch-keyed plan cache
             (entries); ``0`` disables plan caching entirely.
+        incremental_planning: Maintain cached planning state *across* epoch
+            bumps: stale hyper-plan memo entries are delta-patched instead of
+            recomputed, and compiled session plans are revalidated against
+            the tables' change descriptors.  Decisions are bit-identical
+            either way; disabling falls back to invalidate-and-recompute
+            (the pre-delta behaviour, kept for benchmarking).
+        delta_chain_limit: Change descriptors retained per table.  A cached
+            artifact older than this many epoch bumps can no longer be
+            patched and is recomputed cold (bounds delta-chain memory).
+        calibrated_cost_model: Replace the nominal ``seconds_per_block``
+            with the machine-calibrated ``seconds_per_unit`` fitted by
+            ``repro.parallel.calibrate`` (read from ``BENCH_adaptation.json``
+            when available), so modelled runtimes track this host's measured
+            multi-core execution.
     """
 
     num_machines: int = 10
@@ -87,6 +101,9 @@ class AdaptDBConfig:
     worker_start_method: str | None = None
     sim_repartition_bandwidth: int = 2
     plan_cache_size: int = 64
+    incremental_planning: bool = True
+    delta_chain_limit: int = 64
+    calibrated_cost_model: bool = False
 
     def __post_init__(self) -> None:
         if self.rows_per_block <= 0:
@@ -114,3 +131,5 @@ class AdaptDBConfig:
             raise PlanningError("sim_repartition_bandwidth must be at least 1")
         if self.plan_cache_size < 0:
             raise PlanningError("plan_cache_size must be non-negative")
+        if self.delta_chain_limit < 1:
+            raise PlanningError("delta_chain_limit must be at least 1")

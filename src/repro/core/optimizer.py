@@ -156,7 +156,7 @@ class Optimizer:
             estimated_hyper_cost=hyper_cost,
         )
 
-    @epoch_keyed(reads=("epoch",))
+    @epoch_keyed(reads=("epoch", "delta_between"))
     def _hyper_plan(
         self,
         build_table: str,
@@ -184,6 +184,11 @@ class Optimizer:
             probe_table,
             self.catalog.get(probe_table).epoch,
         )
+        delta_source = None
+        if self.config.incremental_planning:
+            delta_source = lambda name, start, end: self.catalog.get(  # noqa: E731
+                name
+            ).delta_between(start, end)
         return self.hyper_cache.get_or_plan(
             dfs,
             build_blocks,
@@ -193,6 +198,7 @@ class Optimizer:
             self.config.buffer_blocks,
             self.config.grouping_algorithm,
             state_token,
+            delta_source=delta_source,
         )
 
     def _choose_method(self, shuffle_cost: float, hyper_cost: float) -> JoinMethod:
@@ -205,6 +211,14 @@ class Optimizer:
     # ------------------------------------------------------------------ #
     # Block relevance
     # ------------------------------------------------------------------ #
+    def relevant_blocks(self, table_name: str, query: Query) -> list[int]:
+        """Public view of the relevant-block computation.
+
+        Used by the session's plan-cache revalidation to compare a cached
+        plan's recorded block sets against the current partition state.
+        """
+        return self._relevant_blocks(table_name, query)
+
     @epoch_keyed(reads=("lookup", "non_empty_block_ids"))
     def _relevant_blocks(self, table_name: str, query: Query) -> list[int]:
         """Blocks of ``table_name`` that must be read for ``query``.

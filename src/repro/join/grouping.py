@@ -220,19 +220,43 @@ _GROUPING_CACHE: dict[tuple, Grouping] = {}
 _GROUPING_CACHE_LIMIT = 512
 
 
-def group_blocks(overlap: np.ndarray, budget: int, algorithm: str = "bottom_up") -> Grouping:
+def matrix_row_digests(overlap: np.ndarray) -> list[bytes]:
+    """Per-row content digests of the overlap matrix.
+
+    The grouping memo keys on these instead of the whole-matrix bytes so an
+    incremental planner that patched only a few rows can produce the memo
+    key in O(changed): it reuses the digests of untouched rows and hashes
+    only the rewritten ones (see ``HyperPlanCache``).
+    """
+    contiguous = np.ascontiguousarray(overlap, dtype=bool)
+    return [
+        hashlib.blake2b(row.tobytes(), digest_size=16).digest() for row in contiguous
+    ]
+
+
+def group_blocks(
+    overlap: np.ndarray,
+    budget: int,
+    algorithm: str = "bottom_up",
+    row_digests: list[bytes] | None = None,
+) -> Grouping:
     """Dispatch to a named grouping algorithm.
 
     Every algorithm is a deterministic pure function of the overlap matrix,
-    so results are memoized on the matrix bytes: the optimizer costs both
-    build directions of every hyper-join every query, and consecutive
-    queries from the same template reproduce the same overlap pattern.
-    Callers must treat the returned :class:`Grouping` as read-only.
+    so results are memoized on per-row content digests: the optimizer costs
+    both build directions of every hyper-join every query, consecutive
+    queries from the same template reproduce the same overlap pattern, and a
+    patched matrix whose rows all survived an epoch bump hits the same memo
+    entry as the cold computation that created it.  Callers must treat the
+    returned :class:`Grouping` as read-only.
 
     Args:
         overlap: The boolean overlap matrix ``V``.
         budget: Maximum blocks per group (the paper's ``B``).
         algorithm: One of ``bottom_up``, ``greedy``, ``first_fit``.
+        row_digests: Precomputed :func:`matrix_row_digests` of ``overlap``
+            (an incremental caller maintains them row-by-row); computed here
+            when omitted.
     """
     try:
         implementation = GROUPING_ALGORITHMS[algorithm]
@@ -240,9 +264,9 @@ def group_blocks(overlap: np.ndarray, budget: int, algorithm: str = "bottom_up")
         raise PlanningError(
             f"unknown grouping algorithm {algorithm!r}; choose from {sorted(GROUPING_ALGORITHMS)}"
         ) from None
-    digest = hashlib.blake2b(
-        np.ascontiguousarray(overlap, dtype=bool).tobytes(), digest_size=16
-    ).digest()
+    if row_digests is None:
+        row_digests = matrix_row_digests(overlap)
+    digest = hashlib.blake2b(b"".join(row_digests), digest_size=16).digest()
     key = (overlap.shape, digest, budget, algorithm)
     cached = _GROUPING_CACHE.get(key)
     if cached is None:

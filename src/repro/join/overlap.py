@@ -5,6 +5,13 @@ For a join R ⋈ S on attribute ``t``, block ``r_i`` of R overlaps block
 joined with each other.  The overlap structure is summarized as a boolean
 matrix ``V`` with ``V[i, j] = 1`` iff ``Range_t(r_i) ∩ Range_t(s_j) ≠ ∅``;
 the paper calls the rows of this matrix the vectors ``v_i``.
+
+Under continuous adaptation most epoch bumps touch a handful of blocks, so
+besides the cold :func:`compute_overlap_matrix` there is
+:func:`patch_overlap_matrix`: it rebuilds only the rows/columns whose block
+ranges changed (or are new) and copies every surviving cell from the cached
+matrix — O(changed × blocks) instead of O(blocks²) range comparisons, and
+bit-identical to a cold recompute by construction.
 """
 
 from __future__ import annotations
@@ -47,6 +54,68 @@ def compute_overlap_matrix(build_ranges: list[Range], probe_ranges: list[Range])
     lo_ok = build[:, 0][:, None] <= probe[:, 1][None, :]
     hi_ok = probe[:, 0][None, :] <= build[:, 1][:, None]
     return lo_ok & hi_ok
+
+
+def patch_overlap_matrix(
+    matrix: np.ndarray,
+    build_ranges: list[Range],
+    probe_ranges: list[Range],
+    kept_build: list[tuple[int, int]],
+    kept_probe: list[tuple[int, int]],
+) -> np.ndarray:
+    """Rebuild ``V`` for new candidate lists, reusing unchanged rows/columns.
+
+    Args:
+        matrix: The cached overlap matrix for the *old* candidate lists.
+        build_ranges: Per-block (min, max) for the **new** build-side list.
+        probe_ranges: Per-block (min, max) for the **new** probe-side list.
+        kept_build: ``(new_row, old_row)`` index pairs for build blocks whose
+            join-attribute range is unchanged since ``matrix`` was computed.
+        kept_probe: ``(new_col, old_col)`` index pairs for probe blocks whose
+            range is unchanged.
+
+    Rows/columns absent from the kept pairs are recomputed from their ranges
+    (so only *changed* ranges are validated here — kept ones were validated
+    when the cached matrix was built); cells covered by a kept row *and* a
+    kept column are copied from ``matrix``.  The result is bit-identical to
+    ``compute_overlap_matrix(build_ranges, probe_ranges)``.
+
+    Raises:
+        PlanningError: if any recomputed range is inverted (min > max).
+    """
+    num_build, num_probe = len(build_ranges), len(probe_ranges)
+    kept_build_new = {new for new, _ in kept_build}
+    kept_probe_new = {new for new, _ in kept_probe}
+    fresh_rows = [row for row in range(num_build) if row not in kept_build_new]
+    fresh_cols = [col for col in range(num_probe) if col not in kept_probe_new]
+    for lo, hi in [build_ranges[row] for row in fresh_rows] + [
+        probe_ranges[col] for col in fresh_cols
+    ]:
+        if lo > hi:
+            raise PlanningError(f"invalid block range ({lo}, {hi})")
+    result = np.zeros((num_build, num_probe), dtype=bool)
+    if num_build == 0 or num_probe == 0:
+        return result
+
+    build = np.asarray(build_ranges, dtype=float)
+    probe = np.asarray(probe_ranges, dtype=float)
+    if kept_build and kept_probe:
+        new_rows = np.asarray([new for new, _ in kept_build])
+        old_rows = np.asarray([old for _, old in kept_build])
+        new_cols = np.asarray([new for new, _ in kept_probe])
+        old_cols = np.asarray([old for _, old in kept_probe])
+        result[np.ix_(new_rows, new_cols)] = matrix[np.ix_(old_rows, old_cols)]
+    if fresh_rows:
+        rows = np.asarray(fresh_rows)
+        lo_ok = build[rows, 0][:, None] <= probe[:, 1][None, :]
+        hi_ok = probe[:, 0][None, :] <= build[rows, 1][:, None]
+        result[rows] = lo_ok & hi_ok
+    if fresh_cols:
+        cols = np.asarray(fresh_cols)
+        lo_ok = build[:, 0][:, None] <= probe[cols, 1][None, :]
+        hi_ok = probe[cols, 0][None, :] <= build[:, 1][:, None]
+        result[:, cols] = lo_ok & hi_ok
+    return result
 
 
 def delta(vector: np.ndarray) -> int:

@@ -92,7 +92,9 @@ class CompiledTree:
     leaf_pos: np.ndarray
     leaf_nodes: list[TreeNode]
     node_index: dict[int, int]
+    parent: np.ndarray
     all_block_ids: list[int] | None = None
+    block_leaf_node: dict[int, int] | None = None
 
 
 @dataclass
@@ -148,6 +150,7 @@ class PartitioningTree:
         left = np.full(count, -1, dtype=np.int32)
         right = np.full(count, -1, dtype=np.int32)
         leaf_pos = np.full(count, -1, dtype=np.int32)
+        parent = np.full(count, -1, dtype=np.int32)
         leaf_nodes: list[TreeNode] = []
 
         for index, node in enumerate(nodes):
@@ -165,6 +168,8 @@ class PartitioningTree:
             cutpoints[index] = node.cutpoint
             left[index] = index_of[id(node.left)]
             right[index] = index_of[id(node.right)]
+            parent[left[index]] = index
+            parent[right[index]] = index
 
         return CompiledTree(
             attributes=attributes,
@@ -176,6 +181,7 @@ class PartitioningTree:
             leaf_pos=leaf_pos,
             leaf_nodes=leaf_nodes,
             node_index=index_of,
+            parent=parent,
         )
 
     # ------------------------------------------------------------------ #
@@ -216,6 +222,7 @@ class PartitioningTree:
         for leaf, block_id in zip(leaves, block_ids):
             leaf.block_id = block_id
         compiled.all_block_ids = None
+        compiled.block_leaf_node = None
 
     # ------------------------------------------------------------------ #
     # Structure inspection / mutation
@@ -447,6 +454,57 @@ class PartitioningTree:
                 stack.append((left[node], split_attr, current_lo, left_hi))
 
         return matched
+
+    def lookup_block(self, block_id: int, predicates: list[Predicate] | None = None) -> bool:
+        """Whether :meth:`lookup` would include ``block_id`` — in O(depth).
+
+        Walks the compiled parent chain from the block's leaf to the root,
+        intersecting the per-attribute path interval, and tests the
+        predicates against that final interval.  ``may_match_range`` is
+        monotone under interval widening for every operator, so passing the
+        final (narrowest) interval implies passing every intermediate one —
+        this reproduces :meth:`lookup` membership exactly without walking
+        the whole tree.  Unknown block ids return ``False``.
+        """
+        compiled = self.compiled()
+        if compiled.block_leaf_node is None:
+            leaf_pos = compiled.leaf_pos
+            leaf_nodes = compiled.leaf_nodes
+            compiled.block_leaf_node = {
+                bound: int(node)
+                for node in np.flatnonzero(leaf_pos >= 0)
+                if (bound := leaf_nodes[leaf_pos[node]].block_id) is not None
+            }
+        node = compiled.block_leaf_node.get(block_id)
+        if node is None:
+            return False
+
+        # attribute index -> [lo, hi]; min/max make the walk order-free.
+        intervals: dict[int, list[float]] = {}
+        parent, left = compiled.parent, compiled.left
+        node_attr, cutpoints = compiled.node_attr, compiled.cutpoints
+        child = node
+        above = int(parent[child])
+        while above >= 0:
+            box = intervals.setdefault(int(node_attr[above]), [-math.inf, math.inf])
+            cutpoint = float(cutpoints[above])
+            if left[above] == child:
+                if cutpoint < box[1]:
+                    box[1] = cutpoint
+            elif cutpoint > box[0]:
+                box[0] = cutpoint
+            child = above
+            above = int(parent[above])
+
+        for predicate in predicates or ():
+            attr_index = compiled.attribute_index.get(predicate.column)
+            if attr_index is None:
+                continue  # lookup() ignores predicates on unsplit columns
+            box = intervals.get(attr_index)
+            lo, hi = (box[0], box[1]) if box is not None else (-math.inf, math.inf)
+            if not predicate.may_match_range(lo, hi):
+                return False
+        return True
 
     def leaf_bounds(self, attribute: str) -> dict[int, tuple[float, float]]:
         """Per-leaf value bounds of ``attribute`` implied by the tree structure.

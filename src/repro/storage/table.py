@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..common.epochs import mutates_partition_state
+from ..common.epochs import PartitionDelta, mutates_partition_state
 from ..common.errors import PartitioningError, StorageError
 from ..common.predicates import Predicate
 from ..common.schema import Schema
@@ -90,11 +90,14 @@ class StoredTable:
 
     Every mutation of the table's partition state (loading a tree, smooth
     block migration, an Amoeba re-split, a full repartitioning, dropping a
-    drained tree) bumps the table's :attr:`epoch`.  Planning layers key their
-    caches on ``(table, epoch)`` pairs: an unchanged epoch guarantees that
-    block contents, block ranges and tree structure are all unchanged, so a
-    cached plan replays bit-identically; any mutation invalidates exactly the
-    entries that mention the mutated table.
+    drained tree) bumps the table's :attr:`epoch` and records a
+    :class:`~repro.common.epochs.PartitionDelta` describing exactly which
+    blocks and trees changed.  Planning layers key their caches on
+    ``(table, epoch)`` pairs: an unchanged epoch guarantees that block
+    contents, block ranges and tree structure are all unchanged, so a cached
+    plan replays bit-identically; on a changed epoch they consult
+    :meth:`delta_between` to *patch* cached state in place when the delta
+    chain still covers the gap, and recompute from scratch otherwise.
     """
 
     name: str
@@ -106,6 +109,12 @@ class StoredTable:
     _block_to_tree: dict[int, int] = field(default_factory=dict)
     _next_tree_id: int = 0
     _epoch: int = field(default=0, repr=False)
+    #: Maximum recorded change descriptors; past it, old epochs merge into a
+    #: blanket "full" sentinel and consumers fall back to a cold recompute.
+    delta_chain_limit: int = 64
+    _delta_chain: list[tuple[int, PartitionDelta]] = field(
+        default_factory=list, repr=False
+    )
     # Incremental statistics caches (see module docstring).
     _block_rows: dict[int, int] = field(default_factory=dict, repr=False)
     _tree_rows: dict[int, int] = field(default_factory=dict, repr=False)
@@ -139,15 +148,21 @@ class StoredTable:
             sample=table.sample(sample_size, rng),
             rows_per_block=rows_per_block,
         )
-        stored._materialize_tree(tree, table.columns)
+        stored._materialize_tree(tree, table.columns, PartitionDelta.full_change())
         return stored
 
-    def _materialize_tree(self, tree: PartitioningTree, columns: dict[str, np.ndarray]) -> int:
+    def _materialize_tree(
+        self,
+        tree: PartitioningTree,
+        columns: dict[str, np.ndarray],
+        delta: PartitionDelta,
+    ) -> int:
         """Bind ``tree``'s leaves to new blocks filled with ``columns``' rows."""
-        self.bump_epoch()
+        self.bump_epoch(delta)
         tree_id = self._next_tree_id
         self._next_tree_id += 1
         tree.tree_id = tree_id
+        delta.trees_added.add(tree_id)
         self._tree_blocks[tree_id] = []
         self._tree_rows[tree_id] = 0
         self._non_empty[tree_id] = set()
@@ -162,6 +177,7 @@ class StoredTable:
             } if columns else self._empty_columns()
             block = self.dfs.create_block(self.name, leaf_columns)
             block_ids.append(block.block_id)
+            delta.blocks_changed.add(block.block_id)
             self._register_block(block.block_id, tree_id, block.num_rows)
         tree.assign_block_ids(block_ids)
         self.trees[tree_id] = tree
@@ -189,10 +205,44 @@ class StoredTable:
         """Monotonically increasing partition-state version of the table."""
         return self._epoch
 
-    def bump_epoch(self) -> int:
-        """Advance the partition-state epoch (called on every mutation)."""
+    def bump_epoch(self, delta: PartitionDelta) -> int:
+        """Advance the partition-state epoch, recording what changed.
+
+        ``delta`` describes the mutation the caller is about to perform (the
+        bump-before-mutate discipline means the descriptor may still be
+        empty here — callers fill it in as the mutation proceeds, and the
+        chain is only read after mutations complete).  The chain is bounded
+        by :attr:`delta_chain_limit`; older entries are dropped, which makes
+        :meth:`delta_between` return ``None`` (= recompute) for spans that
+        reach past the retained window.
+        """
         self._epoch += 1
+        self._delta_chain.append((self._epoch, delta))
+        if len(self._delta_chain) > self.delta_chain_limit:
+            del self._delta_chain[: -self.delta_chain_limit]
         return self._epoch
+
+    def delta_between(self, start_epoch: int, end_epoch: int) -> PartitionDelta | None:
+        """Merged change descriptor covering ``(start_epoch, end_epoch]``.
+
+        Returns:
+            An (unshared, caller-owned) merged :class:`PartitionDelta` when
+            the bounded chain still covers every bump in the span, or
+            ``None`` when it does not (the span pre-dates the retained
+            window, or the epochs are out of range) — callers must then
+            recompute from scratch.  The result may itself be a *full*
+            descriptor, which callers treat the same as ``None``.
+        """
+        if start_epoch > end_epoch or end_epoch > self._epoch:
+            return None
+        if start_epoch == end_epoch:
+            return PartitionDelta()
+        chain = self._delta_chain
+        if not chain or chain[0][0] > start_epoch + 1:
+            return None
+        return PartitionDelta.merged(
+            delta for epoch, delta in chain if start_epoch < epoch <= end_epoch
+        )
 
     # ------------------------------------------------------------------ #
     # Statistics cache maintenance
@@ -286,7 +336,7 @@ class StoredTable:
         Returns:
             The id assigned to the new tree.
         """
-        return self._materialize_tree(tree, {})
+        return self._materialize_tree(tree, {}, PartitionDelta())
 
     def tree(self, tree_id: int) -> PartitioningTree:
         """Return the tree with the given id."""
@@ -352,6 +402,24 @@ class StoredTable:
         block_rows = self._block_rows
         return [block_id for block_id in matched if block_rows.get(block_id, 0) > 0]
 
+    def lookup_contains(
+        self, block_id: int, predicates: list[Predicate] | None = None
+    ) -> bool:
+        """Whether :meth:`lookup` would include ``block_id`` — in O(depth).
+
+        Per-block membership in the pruned set depends only on the block's
+        own row count and its leaf's path bounds in the owning tree, so one
+        parent-chain walk answers it without re-running the full lookup.
+        Blocks no longer in the table (e.g. dropped by a repartition) return
+        ``False``.
+        """
+        if self._block_rows.get(block_id, 0) <= 0:
+            return False
+        tree_id = self._block_to_tree.get(block_id)
+        if tree_id is None:
+            return False
+        return self.trees[tree_id].lookup_block(block_id, predicates)
+
     def rows_under_tree(self, tree_id: int) -> int:
         """Total number of rows stored under a tree (cache-served)."""
         return self._tree_rows.get(tree_id, 0)
@@ -396,7 +464,8 @@ class StoredTable:
             sources.append((block_id, source))
         if not sources:
             return stats
-        self.bump_epoch()
+        delta = PartitionDelta(blocks_changed={block_id for block_id, _ in sources})
+        self.bump_epoch(delta)
 
         # Route the union of all source rows once, then group by target leaf
         # with one stable sort (rows keep source order, and their original
@@ -433,6 +502,7 @@ class StoredTable:
             for name, values in sorted_columns.items()
         }
         for position, leaf_position in enumerate(unique_leaves):
+            delta.blocks_changed.add(target_block_ids[int(leaf_position)])
             segment = slice(boundaries[position], boundaries[position + 1])
             rows = {name: values[segment] for name, values in sorted_columns.items()}
             chunk_ranges = {
@@ -482,7 +552,12 @@ class StoredTable:
         # The caller (the Amoeba adaptor) has already re-split the owning
         # tree's node, so lookups changed even when no rows end up moving —
         # the epoch must advance unconditionally.
-        self.bump_epoch()
+        self.bump_epoch(
+            PartitionDelta(
+                blocks_changed={left_id, right_id},
+                trees_resplit={self.tree_of_block(left_id)},
+            )
+        )
         left_block = self.dfs.peek_block(left_id)
         right_block = self.dfs.peek_block(right_id)
         merged = {
@@ -515,10 +590,13 @@ class StoredTable:
             return []
         # Bump before mutating: there is no early exit past this point, so
         # every path that touches the caches has already advanced the epoch.
-        self.bump_epoch()
+        delta = PartitionDelta()
+        self.bump_epoch(delta)
         removed: list[int] = []
         for tree_id in removable:
+            delta.trees_dropped.add(tree_id)
             for block_id in self.block_ids(tree_id):
+                delta.blocks_dropped.add(block_id)
                 self.dfs.delete_block(block_id)
             self._forget_tree(tree_id)
             del self.trees[tree_id]
@@ -549,7 +627,7 @@ class StoredTable:
             self._forget_tree(tree_id)
             del self.trees[tree_id]
 
-        self._materialize_tree(tree, all_columns)
+        self._materialize_tree(tree, all_columns, PartitionDelta.full_change())
         rows_moved = len(next(iter(all_columns.values()))) if all_columns else 0
         return RepartitionStats(
             source_blocks=num_source_blocks,

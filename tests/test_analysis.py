@@ -51,12 +51,12 @@ class StoredTable:
         violations = analyze_source(
             """
 class StoredTable:
-    def bump_epoch(self):
+    def bump_epoch(self, delta):
         self._epoch += 1
 
-    def forget(self, tree_id):
+    def forget(self, tree_id, delta):
         del self.trees[tree_id]
-        self.bump_epoch()
+        self.bump_epoch(delta)
         return tree_id
 """,
             module="repro.storage.table",
@@ -67,13 +67,13 @@ class StoredTable:
         violations = analyze_source(
             """
 class StoredTable:
-    def bump_epoch(self):
+    def bump_epoch(self, delta):
         self._epoch += 1
 
-    def maybe(self, flag):
+    def maybe(self, flag, delta):
         self.trees.clear()
         if flag:
-            self.bump_epoch()
+            self.bump_epoch(delta)
 """,
             module="repro.storage.table",
         )
@@ -83,14 +83,14 @@ class StoredTable:
         violations = analyze_source(
             """
 class StoredTable:
-    def bump_epoch(self):
+    def bump_epoch(self, delta):
         self._epoch += 1
 
-    def forget(self, tree_id):
+    def forget(self, tree_id, delta):
         if tree_id not in self.trees:
             raise KeyError(tree_id)
         del self.trees[tree_id]
-        self.bump_epoch()
+        self.bump_epoch(delta)
 """,
             module="repro.storage.table",
         )
@@ -100,15 +100,15 @@ class StoredTable:
         violations = analyze_source(
             """
 class StoredTable:
-    def bump_epoch(self):
+    def bump_epoch(self, delta):
         self._epoch += 1
 
-    def _commit(self):
-        self.bump_epoch()
+    def _commit(self, delta):
+        self.bump_epoch(delta)
 
-    def forget(self, tree_id):
+    def forget(self, tree_id, delta):
         del self.trees[tree_id]
-        self._commit()
+        self._commit(delta)
 """,
             module="repro.storage.table",
         )
@@ -133,6 +133,37 @@ def rogue(dfs):
         assert "delete_block" in violations[0].message
         # The same call is legal inside the storage layer.
         assert analyze_source(text, module="repro.storage.helpers") == []
+
+
+class TestEpochDescriptor:
+    def test_bare_bump_fires(self):
+        violations = analyze_source(
+            "def f(table):\n    table.bump_epoch()\n",
+            module="repro.storage.snippet",
+        )
+        assert rules_of(violations) == {"epoch-descriptor"}
+        assert "change descriptor" in violations[0].message
+
+    def test_bump_with_delta_is_quiet(self):
+        text = (
+            "from repro.common.epochs import PartitionDelta\n"
+            "\n"
+            "\n"
+            "def f(table):\n"
+            "    table.bump_epoch(PartitionDelta.full_change())\n"
+        )
+        assert analyze_source(text, module="repro.storage.snippet") == []
+
+    def test_keyword_delta_is_quiet(self):
+        text = "def f(table, delta):\n    table.bump_epoch(delta=delta)\n"
+        assert analyze_source(text, module="repro.storage.snippet") == []
+
+    def test_fires_outside_storage_layer_too(self):
+        violations = analyze_source(
+            "def f(table):\n    table.bump_epoch()\n",
+            module="repro.core.snippet",
+        )
+        assert "epoch-descriptor" in rules_of(violations)
 
 
 class TestEpochDirectWrite:

@@ -20,6 +20,7 @@ from repro.api import (
     query_signature,
 )
 from repro.api.cache import CachedPlan
+from repro.common.epochs import PartitionDelta
 from repro.common.errors import PlanningError
 from repro.common.predicates import between, ge
 from repro.common.query import Query, join_query, scan_query
@@ -167,7 +168,8 @@ class TestPlanCache:
 
     def test_mutating_unrelated_table_keeps_entries_valid(self, session):
         session.run(q12_like(), adapt=False)
-        session.table("part").bump_epoch()  # partition-state change on part only
+        # Partition-state change on part only.
+        session.table("part").bump_epoch(PartitionDelta.full_change())
         assert session.run(q12_like(), adapt=False).plan_cache_hit
 
     def test_post_mutation_results_reflect_new_state(self, session, tpch_tables):

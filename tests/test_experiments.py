@@ -77,10 +77,14 @@ class TestFig8:
 
 
 class TestFig12:
+    # The shape assertions pin the serial cost model: at these tiny scales
+    # the makespan model (the drivers' default) adds scheduling effects that
+    # drown the per-template ordering the paper's figures are about.
     @pytest.fixture(scope="class")
     def result(self):
         return fig12_tpch.run(
-            scale=0.08, warmup_queries=8, measured_queries=2, templates=["q3", "q12", "q14"]
+            scale=0.08, warmup_queries=8, measured_queries=2, templates=["q3", "q12", "q14"],
+            runtime_model="serial",
         )
 
     def test_hyper_join_beats_shuffle_join_everywhere(self, result):
@@ -106,7 +110,8 @@ class TestFig13:
     @pytest.fixture(scope="class")
     def switching(self):
         return fig13_adaptation.run_switching(
-            scale=0.06, queries_per_template=5, templates=["q12", "q14", "q3"]
+            scale=0.06, queries_per_template=5, templates=["q12", "q14", "q3"],
+            runtime_model="serial",
         )
 
     def test_adaptdb_beats_full_scan_overall(self, switching):
@@ -122,14 +127,15 @@ class TestFig13:
 
     def test_shifting_workload_shape(self):
         result = fig13_adaptation.run_shifting(
-            scale=0.06, transition_length=6, templates=["q12", "q14"]
+            scale=0.06, transition_length=6, templates=["q12", "q14"],
+            runtime_model="serial",
         )
         assert result.notes["improvement_vs_full_scan"] > 1.2
 
     def test_makespan_runtime_model_changes_series(self):
         kwargs = dict(scale=0.05, queries_per_template=2, templates=["q12", "q14"])
-        serial = fig13_adaptation.run_switching(**kwargs)
-        makespan = fig13_adaptation.run_switching(**kwargs, runtime_model="makespan")
+        serial = fig13_adaptation.run_switching(**kwargs, runtime_model="serial")
+        makespan = fig13_adaptation.run_switching(**kwargs)  # makespan is the default
         assert serial.notes["runtime_model"] == "serial"
         assert makespan.notes["runtime_model"] == "makespan"
         # The schedule's completion time includes straggler effects the
@@ -195,7 +201,7 @@ class TestFig17:
 class TestFig18:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig18_cmt.run(scale=0.05, num_queries=30)
+        return fig18_cmt.run(scale=0.05, num_queries=30, runtime_model="serial")
 
     def test_adaptdb_beats_full_scan(self, result):
         assert result.notes["improvement_vs_full_scan"] > 1.3

@@ -22,6 +22,7 @@ import numpy as np
 import pytest
 
 from repro.api import Session
+from repro.common.epochs import PartitionDelta
 from repro.common.predicates import between
 from repro.common.query import join_query, scan_query
 from repro.core import AdaptDBConfig
@@ -177,7 +178,7 @@ class TestSegmentLifecycle:
         stale = backend.store.current_pin("lineitem")
         assert stale is not None and stale.epoch == table.epoch
 
-        table.bump_epoch()
+        table.bump_epoch(PartitionDelta.full_change())
         par_session.run(query)
         fresh = backend.store.current_pin("lineitem")
         assert fresh.epoch == table.epoch
