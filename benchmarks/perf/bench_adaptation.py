@@ -48,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis import analyze_paths
 from repro.api import Session
 from repro.baselines.runners import AdaptDBRunner
 from repro.common.predicates import between
@@ -61,6 +62,35 @@ from repro.workloads.tpch import TPCHGenerator
 from repro.workloads.tpch_queries import EVALUATED_TEMPLATES, tables_for_templates, tpch_query
 
 DEFAULT_OUT = Path(__file__).resolve().parents[2] / "BENCH_adaptation.json"
+
+#: Packages whose behaviour feeds the decision fingerprint.  A timing run
+#: over code that violates the repo invariants (epoch discipline, delta
+#: completeness, determinism, shared-memory races) would measure a broken
+#: engine, so the benchmark refuses to record numbers until the static
+#: checkers come back clean on these.
+FINGERPRINTED_PACKAGES = (
+    "adaptive", "exec", "join", "parallel", "partitioning", "sim", "storage",
+)
+
+
+def assert_analysis_clean() -> None:
+    """Exit non-zero if any invariant checker fires on the fingerprinted code."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    targets = [root / name for name in FINGERPRINTED_PACKAGES if (root / name).is_dir()]
+    violations, file_count = analyze_paths(targets)
+    errors = [v for v in violations if v.severity == "error"]
+    if errors:
+        for violation in errors:
+            print(violation.render(), file=sys.stderr)
+        print(
+            f"ERROR: {len(errors)} invariant violation(s) in the fingerprinted "
+            "modules; refusing to record timings for a broken engine",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    print(f"invariant checkers clean on {file_count} fingerprinted module file(s)")
 
 
 # --------------------------------------------------------------------------- #
@@ -618,6 +648,8 @@ def main() -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help="output JSON path (merged, not overwritten)")
     args = parser.parse_args()
+
+    assert_analysis_clean()
 
     data = {}
     if args.out.exists():

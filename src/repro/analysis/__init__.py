@@ -1,6 +1,9 @@
-"""Static analysis for the repro codebase's cross-cutting invariants.
+"""Whole-program static analysis for the repro codebase's invariants.
 
-Four checkers enforce contracts that the type system cannot:
+Six checkers enforce contracts that the type system cannot.  They share a
+project-wide call graph (:class:`~repro.analysis.framework.ProjectGraph`)
+that resolves calls across files and computes fixpoint function summaries,
+so the rules reason interprocedurally rather than one file at a time:
 
 * **epoch** — every partition-state mutation reaches ``bump_epoch()``
   before returning, and nothing outside the storage/partitioning layers
@@ -14,21 +17,36 @@ Four checkers enforce contracts that the type system cannot:
   their key covers (rules ``cache-key-read``, ``cache-key-registration``).
 * **task-purity** — compiled tasks carry ids, never live storage objects
   (rules ``task-purity-field``, ``task-purity-capture``).
+* **deltas** — every mutated block/tree id flows into the
+  ``PartitionDelta`` handed to ``bump_epoch()``; under-description is a
+  gating error, over-description a warning (rules ``delta-completeness``,
+  ``delta-over-description``).
+* **shmem** — code reachable from worker-process entry points never
+  writes attached shared-memory arrays, never touches parent-only state,
+  and cross-process payloads are frozen dataclasses (rules
+  ``shmem-attached-write``, ``shmem-parent-state``,
+  ``shmem-payload-frozen``).
 
 Run ``python -m repro.analysis [paths...]`` (defaults to the installed
-``repro`` package tree) or call :func:`analyze_paths` /
+``repro`` package tree; ``--rules`` lists every rule, ``--format
+json|sarif`` emits machine-readable reports, ``--baseline`` accepts
+audited legacy findings) or call :func:`analyze_paths` /
 :func:`analyze_source` programmatically.  Suppress a finding with a
-justified ``# repro: allow[rule-id]`` comment on or above its line.
+justified ``# repro: allow[rule-id]`` comment on or above its line;
+``# repro: allow[a, b]`` covers several rules at once.  The runtime twins
+of these contracts live in :mod:`repro.common.sanitize`
+(``REPRO_SANITIZE=1``).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from . import cache_keys, determinism, epoch, purity
+from . import cache_keys, deltas, determinism, epoch, purity, shmem
 from .framework import (
     AnalysisContext,
     Checker,
+    ProjectGraph,
     SourceFile,
     Violation,
     analyze_files,
@@ -40,6 +58,8 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     determinism.CHECKER,
     cache_keys.CHECKER,
     purity.CHECKER,
+    deltas.CHECKER,
+    shmem.CHECKER,
 )
 
 ALL_RULES: frozenset[str] = frozenset(
@@ -72,6 +92,7 @@ __all__ = [
     "ALL_RULES",
     "AnalysisContext",
     "Checker",
+    "ProjectGraph",
     "SourceFile",
     "Violation",
     "analyze_files",

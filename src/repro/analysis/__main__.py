@@ -1,16 +1,25 @@
 """CLI entry point: ``python -m repro.analysis [paths...]``.
 
-Exits 1 when any checker reports an unsuppressed violation, 0 otherwise
-— this is the same gate CI's ``static-analysis`` job runs.
+Exits 1 when any checker reports an unsuppressed, non-baselined *error*
+— this is the same gate CI's ``static-analysis`` job runs.  Warnings and
+baselined legacy findings are reported but do not fail the build.
+
+Output formats (``--format``): ``text`` (default, one line per finding),
+``json`` (stable machine-readable), and ``sarif`` (SARIF 2.1.0, suitable
+for CI artifact upload / code-scanning ingestion).  ``--out`` writes the
+report to a file instead of stdout; wall time always goes to stderr so
+CI job logs record checker cost without polluting parseable output.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
-from . import ALL_RULES, analyze_paths
+from . import ALL_CHECKERS, ALL_RULES, analyze_paths
+from .report import Baseline, render_report, render_rules
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,11 +35,46 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--rules",
+        nargs="?",
+        const="",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help=(
+            "comma-separated rule ids to run (default: all); with no value, "
+            "list every rule and its contract, then exit"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "accepted-findings file; matching findings are reported but do "
+            "not fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="write all current findings to this baseline file and exit 0",
     )
     args = parser.parse_args(argv)
 
+    if args.rules == "":
+        print(render_rules(ALL_CHECKERS))
+        return 0
     if args.rules is not None:
         requested = frozenset(
             rule.strip() for rule in args.rules.split(",") if rule.strip()
@@ -43,14 +87,40 @@ def main(argv: list[str] | None = None) -> int:
         rules = None
 
     paths = list(args.paths) or [Path(__file__).resolve().parents[1]]
+    started = time.perf_counter()
     violations, file_count = analyze_paths(paths, rules=rules)
-    for violation in violations:
-        print(violation.render())
-    if violations:
-        print(f"{len(violations)} violation(s) across {file_count} file(s)")
-        return 1
-    print(f"OK: {file_count} file(s), 0 violations")
-    return 0
+    elapsed = time.perf_counter() - started
+
+    if args.write_baseline is not None:
+        Baseline.from_violations(violations).write(args.write_baseline)
+        print(
+            f"wrote {len(violations)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline is not None:
+        baseline = Baseline.load(args.baseline)
+        new, baselined = baseline.split(violations)
+    else:
+        new, baselined = list(violations), []
+
+    report = render_report(
+        args.format, violations, file_count=file_count, checkers=ALL_CHECKERS
+    )
+    if args.out is not None:
+        args.out.write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+
+    gating = [violation for violation in new if violation.severity == "error"]
+    print(
+        f"repro.analysis: {file_count} file(s) in {elapsed:.2f}s — "
+        f"{len(gating)} gating, {len(new) - len(gating)} warning(s), "
+        f"{len(baselined)} baselined",
+        file=sys.stderr,
+    )
+    return 1 if gating else 0
 
 
 if __name__ == "__main__":

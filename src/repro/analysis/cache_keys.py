@@ -135,4 +135,13 @@ CHECKER = Checker(
     name="cache-keys",
     rules=(RULE_READ, RULE_REGISTRATION),
     check=check,
+    descriptions={
+        RULE_READ: (
+            "@epoch_keyed functions read only the mutable state their "
+            "declared key covers"
+        ),
+        RULE_REGISTRATION: (
+            "modules with epoch-keyed caches register them for invalidation"
+        ),
+    },
 )

@@ -1,0 +1,595 @@
+"""Delta-completeness checker.
+
+``PartitionDelta`` descriptors drive the incremental planner: a cached
+plan is patched (not recomputed) from the merged descriptors between two
+epochs, so a ``bump_epoch()`` whose descriptor *under-describes* the
+mutation lets stale plan state survive silently.  This checker
+abstract-interprets every function that builds a descriptor over the
+sets of block/tree ids it mutates and proves each mutated id flows into
+the delta:
+
+``delta-completeness`` (error)
+    Every block/tree id mutated in a descriptor-building function —
+    through a direct write to an id-keyed field, a call to an id-mutating
+    helper (``_append_rows``, ``_clear_block``, ``_forget_tree``,
+    ``dfs.delete_block``, block-content writes through a ``peek_block``
+    alias, ``tree(x).resplit_node``), including transitively through
+    helpers summarized to a fixpoint over the project graph — must appear
+    in the delta (constructor sets, ``.add``/``.update``/``|=``, loop
+    variables of described collections), unless the delta is
+    ``full_change()``.
+
+``delta-over-description`` (warning)
+    A plain id name described by the delta but never mutated in the
+    function suggests descriptor drift (a removed mutation whose
+    description stayed behind).  Restricted to bare names — computed
+    descriptions like ``self.tree_of_block(left_id)`` legitimately cover
+    mutations performed by the caller.
+
+Scope notes.  The analysis unit is a function whose ``bump_epoch()``
+call (direct, or through a helper whose parameter provably forwards to
+``bump_epoch`` — summarized to fixpoint) receives a descriptor *built
+here*: an inline ``PartitionDelta(...)``, a local name assigned one, or
+``PartitionDelta.full_change()``.  A delta received as a parameter is
+the caller's obligation (the bump-before-mutate discipline fills it in
+the callee; its additions are checked where mutation ids are local), so
+such functions are skipped.  Mutations of ids that are callee-local
+(derived inside a helper, like the tree id a row-count update resolves)
+are not attributable to caller arguments and are deliberately out of
+scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping
+
+from .framework import (
+    AnalysisContext,
+    Checker,
+    FunctionInfo,
+    FunctionKey,
+    FunctionNode,
+    SourceFile,
+    Violation,
+    iter_functions,
+    map_call_arguments,
+    parameter_names,
+)
+
+RULE_COMPLETENESS = "delta-completeness"
+RULE_OVER = "delta-over-description"
+
+#: id-keyed partition-state fields, by the kind of id that keys them.
+BLOCK_KEYED_FIELDS = frozenset(
+    {"_block_rows", "_block_to_tree", "_blocks", "_placement"}
+)
+TREE_KEYED_FIELDS = frozenset({"trees", "_tree_rows", "_tree_blocks", "_non_empty"})
+
+#: PartitionDelta attributes, by id kind.
+DELTA_BLOCK_ATTRS = frozenset({"blocks_changed", "blocks_dropped"})
+DELTA_TREE_ATTRS = frozenset({"trees_resplit", "trees_added", "trees_dropped"})
+
+#: Method calls whose first argument is a mutated block id.
+BLOCK_ID_CALLS = frozenset({"delete_block"})
+
+#: Block-content mutators reached through a ``peek_block`` alias.
+BLOCK_CONTENT_MUTATORS = frozenset({"append_rows", "clear", "replace_columns"})
+
+#: Container methods that mutate an id-keyed field in place.
+CONTAINER_MUTATORS = frozenset(
+    {"add", "append", "extend", "insert", "pop", "popitem", "remove", "discard",
+     "update", "setdefault", "clear"}
+)
+
+
+def _field_kind(attr: str) -> str | None:
+    if attr in BLOCK_KEYED_FIELDS:
+        return "block"
+    if attr in TREE_KEYED_FIELDS:
+        return "tree"
+    return None
+
+
+def _delta_attr_kind(attr: str) -> str | None:
+    if attr in DELTA_BLOCK_ATTRS:
+        return "block"
+    if attr in DELTA_TREE_ATTRS:
+        return "tree"
+    return None
+
+
+def _walk_body(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements, skipping nested function/class definitions."""
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _is_full_change(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "full_change"
+    )
+
+
+def _is_delta_constructor(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    return name == "PartitionDelta"
+
+
+def _bump_delta_arg(call: ast.Call) -> ast.expr | None:
+    """The descriptor argument of a ``bump_epoch(...)`` call, if this is one."""
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "bump_epoch":
+        return None
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "delta":
+            return keyword.value
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Whole-program summaries
+# ---------------------------------------------------------------------- #
+
+#: (parameter name, id kind) pairs a function mutates.
+MutationSummary = frozenset[tuple[str, str]]
+#: Parameter names a function forwards into ``bump_epoch()``.
+ForwardSummary = frozenset[str]
+
+#: A mutation site: (id expression source, id kind, line).  ``expr`` is
+#: ``None`` for unattributable whole-container mutations.
+Site = tuple[str | None, str, int]
+
+
+def _peek_aliases(body: list[ast.stmt]) -> dict[str, str]:
+    """Local names bound to ``*.peek_block(<id>)`` -> the id expression."""
+    aliases: dict[str, str] = {}
+    for node in _walk_body(body):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr == "peek_block"
+            and node.value.args
+        ):
+            aliases[node.targets[0].id] = ast.unparse(node.value.args[0])
+    return aliases
+
+
+def _subscript_field_site(target: ast.expr, line: int) -> Site | None:
+    """A store/delete through ``<recv>.<id_field>[<id>]``, as a site."""
+    if isinstance(target, ast.Starred):
+        target = target.value
+    if not isinstance(target, ast.Subscript):
+        return None
+    base = target.value
+    if isinstance(base, ast.Attribute):
+        kind = _field_kind(base.attr)
+        if kind is not None:
+            return (ast.unparse(target.slice), kind, line)
+    return None
+
+
+def _mutation_sites(
+    info: FunctionInfo,
+    context: AnalysisContext,
+    summaries: Mapping[FunctionKey, MutationSummary],
+) -> list[Site]:
+    """Every id-mutation site in one function body."""
+    sites: list[Site] = []
+    aliases = _peek_aliases(info.node.body)
+    for node in _walk_body(info.node.body):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                site = _subscript_field_site(target, node.lineno)
+                if site is not None:
+                    sites.append(site)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                site = _subscript_field_site(target, node.lineno)
+                if site is not None:
+                    sites.append(site)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            receiver = node.func.value
+            if attr in BLOCK_ID_CALLS and node.args:
+                sites.append((ast.unparse(node.args[0]), "block", node.lineno))
+                continue
+            if (
+                attr == "resplit_node"
+                and isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Attribute)
+                and receiver.func.attr == "tree"
+                and receiver.args
+            ):
+                sites.append((ast.unparse(receiver.args[0]), "tree", node.lineno))
+                continue
+            if (
+                attr in BLOCK_CONTENT_MUTATORS
+                and isinstance(receiver, ast.Name)
+                and receiver.id in aliases
+            ):
+                sites.append((aliases[receiver.id], "block", node.lineno))
+                continue
+            if attr in CONTAINER_MUTATORS:
+                # ``self._tree_blocks[tid].append(...)`` mutates tree tid;
+                # ``self._tree_blocks.pop(tid)`` mutates tree tid;
+                # ``self.trees.clear()`` mutates every id (unattributable).
+                if isinstance(receiver, ast.Subscript) and isinstance(
+                    receiver.value, ast.Attribute
+                ):
+                    kind = _field_kind(receiver.value.attr)
+                    if kind is not None:
+                        sites.append(
+                            (ast.unparse(receiver.slice), kind, node.lineno)
+                        )
+                        continue
+                if isinstance(receiver, ast.Attribute):
+                    kind = _field_kind(receiver.attr)
+                    if kind is not None:
+                        if node.args and not isinstance(node.args[0], ast.Starred):
+                            sites.append(
+                                (ast.unparse(node.args[0]), kind, node.lineno)
+                            )
+                        else:
+                            sites.append((None, kind, node.lineno))
+                        continue
+            callee_key = context.graph.resolve_call(node, info)
+            if callee_key is not None:
+                summary = summaries.get(callee_key)
+                if summary:
+                    callee = context.graph.functions[callee_key]
+                    arg_map = map_call_arguments(node, callee)
+                    for param, kind in sorted(summary):
+                        arg = arg_map.get(param)
+                        if arg is not None:
+                            sites.append((ast.unparse(arg), kind, node.lineno))
+    return sites
+
+
+def _mutation_summaries(
+    context: AnalysisContext,
+) -> dict[FunctionKey, MutationSummary]:
+    """Per-function (param, kind) mutation summaries, to a fixpoint."""
+
+    def build() -> dict[FunctionKey, MutationSummary]:
+        def compute(
+            info: FunctionInfo, current: Mapping[FunctionKey, MutationSummary]
+        ) -> MutationSummary:
+            params = set(parameter_names(info.node))
+            return frozenset(
+                (expr, kind)
+                for expr, kind, _ in _mutation_sites(info, context, current)
+                if expr is not None and expr in params
+            )
+
+        return context.graph.fixpoint_summaries(compute)
+
+    return context.cache("deltas.mutation-summaries", build)
+
+
+def _forward_summaries(context: AnalysisContext) -> dict[FunctionKey, ForwardSummary]:
+    """Parameter names each function provably forwards into ``bump_epoch``."""
+
+    def build() -> dict[FunctionKey, ForwardSummary]:
+        def compute(
+            info: FunctionInfo, current: Mapping[FunctionKey, ForwardSummary]
+        ) -> ForwardSummary:
+            params = set(parameter_names(info.node))
+            forwarded: set[str] = set()
+            for node in _walk_body(info.node.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                delta = _bump_delta_arg(node)
+                if delta is not None:
+                    if isinstance(delta, ast.Name) and delta.id in params:
+                        forwarded.add(delta.id)
+                    continue
+                callee_key = context.graph.resolve_call(node, info)
+                if callee_key is None:
+                    continue
+                summary = current.get(callee_key)
+                if not summary:
+                    continue
+                callee = context.graph.functions[callee_key]
+                arg_map = map_call_arguments(node, callee)
+                for param in summary:
+                    arg = arg_map.get(param)
+                    if isinstance(arg, ast.Name) and arg.id in params:
+                        forwarded.add(arg.id)
+            return frozenset(forwarded)
+
+        return context.graph.fixpoint_summaries(compute)
+
+    return context.cache("deltas.forward-summaries", build)
+
+
+# ---------------------------------------------------------------------- #
+# Descriptor extraction
+# ---------------------------------------------------------------------- #
+
+
+class _Description:
+    """What one function's descriptor(s) declare as changed."""
+
+    def __init__(self) -> None:
+        self.full = False
+        self.described: dict[str, set[str]] = {"block": set(), "tree": set()}
+        #: plain-name descriptions, for the over-description warning.
+        self.plain: dict[str, list[tuple[str, int]]] = {"block": [], "tree": []}
+        #: described collection expressions whose *elements* are covered.
+        self.collections: dict[str, set[str]] = {"block": set(), "tree": set()}
+
+    def add_element(self, kind: str, expr: ast.expr, plain_ok: bool = True) -> None:
+        self.described[kind].add(ast.unparse(expr))
+        if plain_ok and isinstance(expr, ast.Name):
+            self.plain[kind].append((expr.id, expr.lineno))
+
+    def add_collection(self, kind: str, expr: ast.expr) -> None:
+        if isinstance(expr, (ast.Set, ast.Tuple, ast.List)):
+            for element in expr.elts:
+                self.add_element(kind, element)
+        elif isinstance(expr, (ast.SetComp, ast.GeneratorExp, ast.ListComp)):
+            self.described[kind].add(ast.unparse(expr.elt))
+        else:
+            self.collections[kind].add(ast.unparse(expr))
+
+    def absorb_loops(self, body: list[ast.stmt]) -> None:
+        """Loop variables over a described collection are described ids."""
+        for node in _walk_body(body):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            iterated = ast.unparse(node.iter)
+            for kind in ("block", "tree"):
+                if iterated in self.collections[kind]:
+                    for target in ast.walk(node.target):
+                        if isinstance(target, ast.Name):
+                            self.described[kind].add(target.id)
+
+
+def _parse_constructor(description: _Description, call: ast.Call) -> None:
+    for keyword in call.keywords:
+        if keyword.arg == "full":
+            if isinstance(keyword.value, ast.Constant) and keyword.value.value:
+                description.full = True
+            continue
+        kind = _delta_attr_kind(keyword.arg or "")
+        if kind is not None:
+            description.add_collection(kind, keyword.value)
+
+
+def _collect_descriptor(
+    func: FunctionNode, delta_exprs: list[ast.expr]
+) -> _Description | None:
+    """Build the described-id sets; ``None`` means skip this function.
+
+    Skipped cases: a delta received as a parameter (the caller's
+    obligation) and delta expressions too dynamic to see through.
+    """
+    description = _Description()
+    params = set(parameter_names(func))
+    local_names: set[str] = set()
+    for expr in delta_exprs:
+        if _is_full_change(expr):
+            description.full = True
+        elif _is_delta_constructor(expr):
+            _parse_constructor(description, expr)
+        elif isinstance(expr, ast.Name):
+            if expr.id in params:
+                return None
+            assigned = _local_delta_assignment(func, expr.id)
+            if assigned is None:
+                return None
+            if _is_full_change(assigned):
+                description.full = True
+            else:
+                _parse_constructor(description, assigned)
+            local_names.add(expr.id)
+        else:
+            return None
+    _absorb_local_ops(description, func, local_names)
+    description.absorb_loops(func.body)
+    return description
+
+
+def _local_delta_assignment(func: FunctionNode, name: str) -> ast.Call | None:
+    """The ``<name> = PartitionDelta...`` assignment in ``func``, if any."""
+    for node in _walk_body(func.body):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+            and isinstance(node.value, ast.Call)
+            and (_is_delta_constructor(node.value) or _is_full_change(node.value))
+        ):
+            return node.value
+    return None
+
+
+def _absorb_local_ops(
+    description: _Description, func: FunctionNode, names: set[str]
+) -> None:
+    """Fold ``delta.<attr>.add/update`` and ``delta.<attr> |= ...`` in."""
+    for node in _walk_body(func.body):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in {"add", "update"}
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id in names
+        ):
+            kind = _delta_attr_kind(node.func.value.attr)
+            if kind is None or not node.args:
+                continue
+            if node.func.attr == "add":
+                description.add_element(kind, node.args[0])
+            else:
+                description.add_collection(kind, node.args[0])
+        elif (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.op, ast.BitOr)
+            and isinstance(node.target, ast.Attribute)
+            and isinstance(node.target.value, ast.Name)
+            and node.target.value.id in names
+        ):
+            kind = _delta_attr_kind(node.target.attr)
+            if kind is not None:
+                description.add_collection(kind, node.value)
+
+
+# ---------------------------------------------------------------------- #
+# The checker
+# ---------------------------------------------------------------------- #
+
+
+def _delta_exprs(
+    info: FunctionInfo,
+    context: AnalysisContext,
+    forwards: Mapping[FunctionKey, ForwardSummary],
+) -> list[ast.expr]:
+    """Descriptor expressions this function hands to ``bump_epoch``."""
+    exprs: list[ast.expr] = []
+    for node in _walk_body(info.node.body):
+        if not isinstance(node, ast.Call):
+            continue
+        delta = _bump_delta_arg(node)
+        if delta is not None:
+            exprs.append(delta)
+            continue
+        callee_key = context.graph.resolve_call(node, info)
+        if callee_key is None:
+            continue
+        summary = forwards.get(callee_key)
+        if not summary:
+            continue
+        callee = context.graph.functions[callee_key]
+        arg_map = map_call_arguments(node, callee)
+        for param in sorted(summary):
+            arg = arg_map.get(param)
+            if arg is not None:
+                exprs.append(arg)
+    return exprs
+
+
+_KIND_HINTS = {
+    "block": "blocks_changed / blocks_dropped",
+    "tree": "trees_added / trees_dropped / trees_resplit",
+}
+
+
+def check(source: SourceFile, context: AnalysisContext) -> list[Violation]:
+    violations: list[Violation] = []
+    forwards = _forward_summaries(context)
+    summaries = _mutation_summaries(context)
+    for func, class_name in iter_functions(source.tree):
+        if func.name == "bump_epoch":
+            continue
+        qualname = f"{class_name}.{func.name}" if class_name else func.name
+        info = context.graph.functions.get((source.path, qualname))
+        if info is None or info.node is not func:
+            continue
+        delta_exprs = _delta_exprs(info, context, forwards)
+        if not delta_exprs:
+            continue
+        description = _collect_descriptor(func, delta_exprs)
+        if description is None or description.full:
+            continue
+        sites = _mutation_sites(info, context, summaries)
+        seen: set[tuple[str | None, str, int]] = set()
+        mutated: dict[str, set[str]] = {"block": set(), "tree": set()}
+        for expr, kind, line in sites:
+            if expr is not None:
+                mutated[kind].add(expr)
+            if (expr, kind, line) in seen:
+                continue
+            seen.add((expr, kind, line))
+            if expr is None:
+                violations.append(
+                    Violation(
+                        rule=RULE_COMPLETENESS,
+                        path=source.path,
+                        line=line,
+                        message=(
+                            f"{qualname} mutates a whole id-keyed container but "
+                            "its PartitionDelta cannot describe that"
+                        ),
+                        hint="use PartitionDelta.full_change() for bulk mutations",
+                    )
+                )
+            elif expr not in description.described[kind]:
+                violations.append(
+                    Violation(
+                        rule=RULE_COMPLETENESS,
+                        path=source.path,
+                        line=line,
+                        message=(
+                            f"{qualname} mutates {kind} id `{expr}` but its "
+                            "PartitionDelta never describes it"
+                        ),
+                        hint=(
+                            f"add it to {_KIND_HINTS[kind]} on the descriptor "
+                            "passed to bump_epoch(), or use full_change()"
+                        ),
+                    )
+                )
+        for kind in ("block", "tree"):
+            for name, line in description.plain[kind]:
+                if name not in mutated[kind]:
+                    violations.append(
+                        Violation(
+                            rule=RULE_OVER,
+                            path=source.path,
+                            line=line,
+                            message=(
+                                f"{qualname} describes {kind} id `{name}` in its "
+                                "PartitionDelta but never mutates it"
+                            ),
+                            hint=(
+                                "drop the stale description, or leave a comment "
+                                "suppression if the caller mutates it"
+                            ),
+                            severity="warning",
+                        )
+                    )
+    return violations
+
+
+CHECKER = Checker(
+    name="deltas",
+    rules=(RULE_COMPLETENESS, RULE_OVER),
+    check=check,
+    descriptions={
+        RULE_COMPLETENESS: (
+            "every block/tree id a descriptor-building function mutates "
+            "flows into the PartitionDelta passed to bump_epoch()"
+        ),
+        RULE_OVER: (
+            "a plain id described by a PartitionDelta but never mutated "
+            "in the function suggests descriptor drift (warning)"
+        ),
+    },
+)

@@ -483,4 +483,23 @@ CHECKER = Checker(
         RULE_UNSEEDED,
     ),
     check=check,
+    descriptions={
+        RULE_STDLIB_RANDOM: (
+            "fingerprinted layers never use the stdlib random module"
+        ),
+        RULE_GLOBAL_NUMPY: (
+            "fingerprinted layers never use numpy's global RNG state"
+        ),
+        RULE_WALL_CLOCK: (
+            "fingerprinted layers never read the wall clock; timing goes "
+            "through the sanctioned repro.common.clock helper"
+        ),
+        RULE_SET_ITER: (
+            "no iteration over sets/frozensets without sorted() in "
+            "fingerprinted layers"
+        ),
+        RULE_UNSEEDED: (
+            "every numpy Generator is constructed from an explicit seed"
+        ),
+    },
 )

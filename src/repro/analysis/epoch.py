@@ -13,8 +13,12 @@ returns to a caller.  Two rules enforce that:
     through ``bump_epoch()`` (or a method proven to always bump).
     Methods decorated ``@mutates_partition_state`` are exempt — the
     obligation moves to their call sites.  Outside the storage and
-    partitioning layers, any call to a registered mutator is flagged
-    directly: other layers must go through the bumping public API.
+    partitioning layers, a call to a registered mutator is flagged
+    unless a call to a method proven (project-wide) to always bump
+    follows on every non-raising exit of the enclosing function — the
+    same dataflow that checks the owner classes, now fed by whole-program
+    always-bump summaries from the :class:`~.framework.ProjectGraph`
+    pre-pass instead of per-file re-walks.
 
 ``epoch-direct-write``
     No code outside the owning module may assign a protected field
@@ -52,6 +56,7 @@ from .framework import (
     SourceFile,
     Violation,
     has_decorator,
+    iter_functions,
 )
 
 RULE_DISCIPLINE = "epoch-discipline"
@@ -157,11 +162,15 @@ def _events(
     fields: frozenset[str],
     mutator_names: frozenset[str],
     bump_names: frozenset[str],
+    any_receiver_bump: bool = False,
 ) -> tuple[bool, bool]:
     """Scan one statement/expression for (bump, mutation) events.
 
     Nested function/class definitions are skipped — their bodies run
-    later, not here.
+    later, not here.  ``any_receiver_bump`` accepts a bumping call on any
+    receiver (``table.resplit_leaf_pair(...)``), which is what external
+    callers look like; the owner-class analysis keeps the strict
+    ``self.``-receiver form.
     """
     bump = False
     mutate = False
@@ -173,10 +182,9 @@ def _events(
         if isinstance(current, ast.Call) and isinstance(current.func, ast.Attribute):
             attr = current.func.attr
             receiver = current.func.value
-            if (
-                attr in bump_names
-                and isinstance(receiver, ast.Name)
-                and receiver.id == "self"
+            if attr in bump_names and (
+                any_receiver_bump
+                or (isinstance(receiver, ast.Name) and receiver.id == "self")
             ):
                 bump = True
             elif attr in mutator_names:
@@ -207,10 +215,12 @@ class _MethodFlow:
         fields: frozenset[str],
         mutator_names: frozenset[str],
         bump_names: frozenset[str],
+        any_receiver_bump: bool = False,
     ) -> None:
         self._fields = fields
         self._mutators = mutator_names
         self._bumps = bump_names
+        self._any_receiver_bump = any_receiver_bump
         #: (line, possible states) at each return / fall-off exit.
         self.exits: list[tuple[int, States]] = []
 
@@ -223,7 +233,9 @@ class _MethodFlow:
 
     # ---------------------------------------------------------------- #
     def _apply(self, node: ast.AST, states: States) -> States:
-        bump, mutate = _events(node, self._fields, self._mutators, self._bumps)
+        bump, mutate = _events(
+            node, self._fields, self._mutators, self._bumps, self._any_receiver_bump
+        )
         if bump:
             return frozenset({_BUMP})
         if mutate:
@@ -281,7 +293,8 @@ class _MethodFlow:
         if isinstance(stmt, ast.Try):
             body_fall, breaks, continues = self._block(stmt.body, states)
             bump, mutate = _events_in_block(
-                stmt.body, self._fields, self._mutators, self._bumps
+                stmt.body, self._fields, self._mutators, self._bumps,
+                self._any_receiver_bump,
             )
             handler_in = states | body_fall
             if mutate:
@@ -330,11 +343,14 @@ def _events_in_block(
     fields: frozenset[str],
     mutator_names: frozenset[str],
     bump_names: frozenset[str],
+    any_receiver_bump: bool = False,
 ) -> tuple[bool, bool]:
     bump = False
     mutate = False
     for stmt in stmts:
-        stmt_bump, stmt_mutate = _events(stmt, fields, mutator_names, bump_names)
+        stmt_bump, stmt_mutate = _events(
+            stmt, fields, mutator_names, bump_names, any_receiver_bump
+        )
         bump = bump or stmt_bump
         mutate = mutate or stmt_mutate
     return bump, mutate
@@ -369,16 +385,47 @@ def _always_bumps(
             return frozenset(proven)
 
 
+#: Per-class-definition always-bump sets plus their project-wide union.
+BumpSummaries = tuple[dict[tuple[str, int], frozenset[str]], frozenset[str]]
+
+
+def _bump_summaries(context: AnalysisContext) -> BumpSummaries:
+    """Whole-program always-bump summaries, computed once per analysis run.
+
+    Every protected class definition in the project gets its fixpoint
+    computed exactly once (keyed by ``(path, lineno)``); the union of all
+    proven method names feeds the external-caller flow check, so a method
+    like ``StoredTable.resplit_leaf_pair`` counts as a bump event in any
+    module without re-walking ``table.py`` per analyzed file.
+    """
+
+    def build() -> BumpSummaries:
+        per_class: dict[tuple[str, int], frozenset[str]] = {}
+        union: set[str] = set()
+        for source in context.files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef) and node.name in PROTECTED_BY_CLASS:
+                    proven = _always_bumps(
+                        node, PROTECTED_BY_CLASS[node.name], context.mutator_names
+                    )
+                    per_class[(source.path, node.lineno)] = proven
+                    union |= proven
+        return per_class, frozenset(union)
+
+    return context.cache("epoch.bump-summaries", build)
+
+
 def _check_owner_classes(
     source: SourceFile, context: AnalysisContext
 ) -> list[Violation]:
     violations: list[Violation] = []
+    per_class, _ = _bump_summaries(context)
     for node in ast.walk(source.tree):
         if not isinstance(node, ast.ClassDef) or node.name not in PROTECTED_BY_CLASS:
             continue
         fields = PROTECTED_BY_CLASS[node.name]
-        bump_names = frozenset({"bump_epoch"}) | _always_bumps(
-            node, fields, context.mutator_names
+        bump_names = frozenset({"bump_epoch"}) | per_class.get(
+            (source.path, node.lineno), frozenset()
         )
         for method in _class_methods(node):
             if method.name in EXEMPT_METHODS:
@@ -409,33 +456,79 @@ def _check_owner_classes(
     return violations
 
 
+def _mutator_calls(body: list[ast.stmt], mutator_names: frozenset[str]) -> list[tuple[int, str]]:
+    """(line, name) of each mutator call in ``body``, skipping nested defs."""
+    calls: list[tuple[int, str]] = []
+    stack: list[ast.AST] = list(body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if (
+            isinstance(current, ast.Call)
+            and isinstance(current.func, ast.Attribute)
+            and current.func.attr in mutator_names
+        ):
+            calls.append((current.lineno, current.func.attr))
+        stack.extend(ast.iter_child_nodes(current))
+    return sorted(calls)
+
+
+def _external_mutator_violation(source: SourceFile, line: int, name: str) -> Violation:
+    return Violation(
+        rule=RULE_DISCIPLINE,
+        path=source.path,
+        line=line,
+        message=(
+            f"call to partition-state mutator .{name}() "
+            "outside the storage/partitioning layers"
+        ),
+        hint=(
+            "follow it with a call to a bumping StoredTable method on every "
+            "path, or suppress with a justification"
+        ),
+    )
+
+
 def _check_external_mutator_calls(
     source: SourceFile, context: AnalysisContext
 ) -> list[Violation]:
+    """Mutator calls outside the owning layers must be followed by a bump.
+
+    A registered ``@mutates_partition_state`` call in, say, the adaptive
+    layer is accepted only when a call to a method proven project-wide to
+    always bump (or ``bump_epoch`` itself) follows on every non-raising
+    exit of the enclosing function — the Amoeba resplit pattern.  Mutator
+    calls at module level have no enclosing flow and are always flagged.
+    """
     if source.module.startswith(MUTATOR_CALLER_PREFIXES):
         return []
     violations: list[Violation] = []
+    _, proven_names = _bump_summaries(context)
+    bump_names = frozenset({"bump_epoch"}) | proven_names
+    function_lines: set[int] = set()
+    for func, _class in iter_functions(source.tree):
+        if func.end_lineno is not None:
+            function_lines.update(range(func.lineno, func.end_lineno + 1))
+        calls = _mutator_calls(func.body, context.mutator_names)
+        if not calls:
+            continue
+        flow = _MethodFlow(
+            frozenset(), context.mutator_names, bump_names, any_receiver_bump=True
+        )
+        exits = flow.run(func)
+        if any(_MUT in states for _, states in exits):
+            for line, name in calls:
+                violations.append(_external_mutator_violation(source, line, name))
     for node in ast.walk(source.tree):
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
             and node.func.attr in context.mutator_names
+            and node.lineno not in function_lines
         ):
             violations.append(
-                Violation(
-                    rule=RULE_DISCIPLINE,
-                    path=source.path,
-                    line=node.lineno,
-                    message=(
-                        f"call to partition-state mutator .{node.func.attr}() "
-                        "outside the storage/partitioning layers"
-                    ),
-                    hint=(
-                        "go through a StoredTable method that bumps the epoch, "
-                        "or suppress with a justification if a bumping call "
-                        "provably follows"
-                    ),
-                )
+                _external_mutator_violation(source, node.lineno, node.func.attr)
             )
     return violations
 
@@ -556,4 +649,17 @@ CHECKER = Checker(
     name="epoch",
     rules=(RULE_DISCIPLINE, RULE_DIRECT_WRITE, RULE_DESCRIPTOR),
     check=check,
+    descriptions={
+        RULE_DISCIPLINE: (
+            "every partition-state mutation reaches bump_epoch() before "
+            "control returns to a caller"
+        ),
+        RULE_DIRECT_WRITE: (
+            "no code outside the owning module assigns a protected "
+            "partition-state field directly"
+        ),
+        RULE_DESCRIPTOR: (
+            "every bump_epoch() call passes a PartitionDelta change descriptor"
+        ),
+    },
 )

@@ -3,11 +3,17 @@
 The checkers are plain functions over parsed source files; this module
 owns everything they share so each checker file is only its rule logic:
 
-* :class:`Violation` — one finding, with file:line and a fix hint.
+* :class:`Violation` — one finding, with file:line, severity and a fix
+  hint.
 * :class:`SourceFile` — a parsed file plus its suppression comments.
+* :class:`ProjectGraph` — the whole-program function index and resolved
+  call graph (imports, ``self.method()``, annotation-typed receivers),
+  with reachability and a generic summary-fixpoint driver on top.
 * :class:`AnalysisContext` — cross-file facts gathered in one pre-pass
   (registered mutators, ``@epoch_keyed`` registrations, return
-  annotations), so individual checkers stay single-file visitors.
+  annotations, the project graph) plus a per-run :meth:`cache
+  <AnalysisContext.cache>` so whole-program passes compute their
+  summaries once instead of per file.
 * :class:`Checker` — name + rule ids + a check callable; the registry in
   ``repro.analysis.__init__`` is just a tuple of these.
 
@@ -26,7 +32,7 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Mapping, TypeVar, cast
 
 #: Comment syntax that silences rules: ``# repro: allow[rule-a, rule-b]``.
 SUPPRESSION_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]+)\]")
@@ -41,6 +47,8 @@ class Violation:
     line: int
     message: str
     hint: str = ""
+    #: ``"error"`` findings gate CI; ``"warning"`` findings are advisory.
+    severity: str = "error"
 
     def render(self) -> str:
         """Human-readable one-line form, ``path:line: [rule] message``."""
@@ -207,6 +215,274 @@ def epoch_keyed_decorator(func: FunctionNode) -> tuple[str, ...] | None:
     return None
 
 
+#: Identity of one function in the project: ``(file path, qualname)``.
+#: Module names can collide across analyzed trees (two ``conftest.py``),
+#: file paths cannot.
+FunctionKey = tuple[str, str]
+
+
+def parameter_names(func: FunctionNode) -> list[str]:
+    """Positional + keyword-only parameter names, in declaration order."""
+    args = func.args
+    return [arg.arg for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+
+
+def _annotation_class(annotation: ast.expr | None) -> str | None:
+    """The class name an annotation pins its value to, if recoverable.
+
+    Handles ``Foo``, ``pkg.Foo``, the string form ``"Foo"`` and the
+    optional form ``Foo | None``; everything else (generics, unions of
+    two real types) returns ``None``.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.split("|")[0].strip().split(".")[-1] or None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = _annotation_class(annotation.left)
+        right = _annotation_class(annotation.right)
+        if left == "None":
+            return right
+        if right == "None":
+            return left
+        return None
+    name = dotted_name(annotation)
+    if name is not None:
+        return name.split(".")[-1]
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method) in the project graph."""
+
+    key: FunctionKey
+    module: str
+    path: str
+    qualname: str
+    name: str
+    class_name: str | None
+    node: FunctionNode
+
+    def annotation_of(self, param: str) -> str | None:
+        """Class name a parameter's annotation pins it to, if any."""
+        args = self.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg == param:
+                return _annotation_class(arg.annotation)
+        return None
+
+
+def map_call_arguments(call: ast.Call, callee: "FunctionInfo") -> dict[str, ast.expr]:
+    """Map callee parameter names to argument expressions at a call site.
+
+    Bound-method calls (``obj.m(...)`` against a callee whose first
+    parameter is ``self``/``cls``) shift positional arguments by one;
+    starred arguments are skipped.
+    """
+    params = parameter_names(callee.node)
+    offset = 0
+    if params and params[0] in {"self", "cls"} and isinstance(call.func, ast.Attribute):
+        offset = 1
+    mapping: dict[str, ast.expr] = {}
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        position = index + offset
+        if position < len(params):
+            mapping[params[position]] = arg
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            mapping[keyword.arg] = keyword.value
+    return mapping
+
+
+_S = TypeVar("_S")
+
+
+@dataclass
+class ProjectGraph:
+    """Whole-program function index with a resolved call graph.
+
+    Call resolution is deliberately conservative: a call resolves to a
+    project function only through an import binding, a module-level name,
+    ``self``/``cls`` within a class, a receiver whose parameter
+    annotation names a known class, or — as a last resort — a method
+    name defined exactly once in the whole project.  Anything ambiguous
+    resolves to nothing, so graph clients over-approximate by treating
+    unresolved calls as opaque.
+    """
+
+    #: Every indexed function, keyed by ``(path, qualname)``.
+    functions: dict[FunctionKey, FunctionInfo] = field(default_factory=dict)
+    #: module -> qualname -> key (first definition wins).
+    by_module: dict[str, dict[str, FunctionKey]] = field(default_factory=dict)
+    #: class name -> method name -> key (first definition wins).
+    class_methods: dict[str, dict[str, FunctionKey]] = field(default_factory=dict)
+    #: bare function/method name -> every key defining it.
+    by_name: dict[str, list[FunctionKey]] = field(default_factory=dict)
+    #: module -> local name -> (target module, attr or None for modules).
+    imports: dict[str, dict[str, tuple[str, str | None]]] = field(default_factory=dict)
+    _callees: dict[FunctionKey, frozenset[FunctionKey]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, files: list[SourceFile]) -> "ProjectGraph":
+        graph = cls()
+        for source in files:
+            graph.imports.setdefault(source.module, {}).update(
+                _import_bindings(source)
+            )
+            module_index = graph.by_module.setdefault(source.module, {})
+            for func, class_name in iter_functions(source.tree):
+                qualname = f"{class_name}.{func.name}" if class_name else func.name
+                key: FunctionKey = (source.path, qualname)
+                info = FunctionInfo(
+                    key=key,
+                    module=source.module,
+                    path=source.path,
+                    qualname=qualname,
+                    name=func.name,
+                    class_name=class_name,
+                    node=func,
+                )
+                graph.functions.setdefault(key, info)
+                module_index.setdefault(qualname, key)
+                graph.by_name.setdefault(func.name, []).append(key)
+                if class_name is not None:
+                    graph.class_methods.setdefault(class_name, {}).setdefault(
+                        func.name, key
+                    )
+        return graph
+
+    # ------------------------------------------------------------------ #
+    def resolve_call(self, call: ast.Call, info: FunctionInfo) -> FunctionKey | None:
+        """The project function a call resolves to, or ``None``."""
+        func = call.func
+        module_index = self.by_module.get(info.module, {})
+        bindings = self.imports.get(info.module, {})
+        if isinstance(func, ast.Name):
+            local = module_index.get(func.id)
+            if local is not None:
+                return local
+            bound = bindings.get(func.id)
+            if bound is not None:
+                target_module, attr = bound
+                if attr is not None:
+                    return self.by_module.get(target_module, {}).get(attr)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id in {"self", "cls"} and info.class_name is not None:
+                same_module = module_index.get(f"{info.class_name}.{attr}")
+                if same_module is not None:
+                    return same_module
+                return self.class_methods.get(info.class_name, {}).get(attr)
+            bound = bindings.get(receiver.id)
+            if bound is not None:
+                target_module, sub = bound
+                if sub is not None:
+                    target_module = f"{target_module}.{sub}"
+                resolved = self.by_module.get(target_module, {}).get(attr)
+                if resolved is not None:
+                    return resolved
+            annotated = info.annotation_of(receiver.id)
+            if annotated is not None:
+                resolved = self.class_methods.get(annotated, {}).get(attr)
+                if resolved is not None:
+                    return resolved
+        candidates = self.by_name.get(attr, [])
+        if len(candidates) == 1:
+            candidate = self.functions[candidates[0]]
+            if candidate.class_name is not None:
+                return candidate.key
+        return None
+
+    def callees(self, key: FunctionKey) -> frozenset[FunctionKey]:
+        """Resolved callees of one function (cached)."""
+        cached = self._callees.get(key)
+        if cached is not None:
+            return cached
+        info = self.functions.get(key)
+        resolved: set[FunctionKey] = set()
+        if info is not None:
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    callee = self.resolve_call(node, info)
+                    if callee is not None:
+                        resolved.add(callee)
+        result = frozenset(resolved)
+        self._callees[key] = result
+        return result
+
+    def reachable(self, roots: Iterable[FunctionKey]) -> set[FunctionKey]:
+        """Transitive closure of :meth:`callees` from ``roots``."""
+        seen: set[FunctionKey] = set()
+        stack = [key for key in roots if key in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self.callees(key) - seen)
+        return seen
+
+    def fixpoint_summaries(
+        self,
+        compute: Callable[[FunctionInfo, Mapping[FunctionKey, _S]], _S],
+    ) -> dict[FunctionKey, _S]:
+        """Run ``compute`` over every function until summaries stabilize.
+
+        ``compute`` sees the current summary map and must be monotone
+        (summaries only grow); iteration order is deterministic and the
+        loop stops at the first round with no change.
+        """
+        summaries: dict[FunctionKey, _S] = {}
+        while True:
+            changed = False
+            for key, info in self.functions.items():
+                summary = compute(info, summaries)
+                if summaries.get(key) != summary:
+                    summaries[key] = summary
+                    changed = True
+            if not changed:
+                return summaries
+
+
+def _import_bindings(source: SourceFile) -> dict[str, tuple[str, str | None]]:
+    """Local name -> (module, attr) bindings from a module's imports."""
+    bindings: dict[str, tuple[str, str | None]] = {}
+    is_package = source.path.endswith("__init__.py")
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    bindings[alias.asname] = (alias.name, None)
+                else:
+                    root = alias.name.split(".")[0]
+                    bindings[root] = (root, None)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module
+            if node.level:
+                parts = source.module.split(".")
+                drop = node.level - 1 if is_package else node.level
+                if drop > len(parts):
+                    continue
+                prefix = parts[: len(parts) - drop]
+                if not prefix:
+                    continue
+                base = ".".join(prefix + ([node.module] if node.module else []))
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings[alias.asname or alias.name] = (base, alias.name)
+    return bindings
+
+
 @dataclass
 class AnalysisContext:
     """Cross-file facts shared by all checkers, built in one pre-pass."""
@@ -218,6 +494,21 @@ class AnalysisContext:
     epoch_keyed: dict[tuple[str, str], tuple[str, ...]] = field(default_factory=dict)
     #: Function name -> return annotation node (last definition wins).
     return_annotations: dict[str, ast.expr] = field(default_factory=dict)
+    #: Whole-program call graph over ``files``.
+    graph: ProjectGraph = field(default_factory=ProjectGraph)
+    _cache: dict[str, object] = field(default_factory=dict)
+
+    def cache(self, key: str, build: Callable[[], _S]) -> _S:
+        """Compute-once storage for whole-program summaries.
+
+        The first checker to ask under ``key`` pays for ``build``; every
+        later per-file ``check`` call reuses the result, which is what
+        keeps whole-program passes from re-walking the project once per
+        analyzed file.
+        """
+        if key not in self._cache:
+            self._cache[key] = build()
+        return cast(_S, self._cache[key])
 
     @classmethod
     def build(cls, files: list[SourceFile]) -> "AnalysisContext":
@@ -239,6 +530,7 @@ class AnalysisContext:
             mutator_names=frozenset(mutators),
             epoch_keyed=epoch_keyed,
             return_annotations=returns,
+            graph=ProjectGraph.build(files),
         )
 
 
@@ -252,6 +544,8 @@ class Checker:
     name: str
     rules: tuple[str, ...]
     check: CheckFunction
+    #: rule id -> one-line description, surfaced by ``--rules`` and SARIF.
+    descriptions: Mapping[str, str] = field(default_factory=dict)
 
 
 def is_suppressed(violation: Violation, source: SourceFile) -> bool:

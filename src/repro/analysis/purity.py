@@ -173,4 +173,13 @@ CHECKER = Checker(
     name="task-purity",
     rules=(RULE_FIELD, RULE_CAPTURE),
     check=check,
+    descriptions={
+        RULE_FIELD: (
+            "compiled task payload fields carry ids and plain data, never "
+            "live storage objects"
+        ),
+        RULE_CAPTURE: (
+            "task-building code never closes over live storage objects"
+        ),
+    },
 )

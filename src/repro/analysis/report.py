@@ -1,0 +1,207 @@
+"""Report rendering (JSON / SARIF 2.1.0) and the violation baseline.
+
+The baseline is a committed JSON file (``analysis_baseline.json`` at the
+repo root) listing *accepted* legacy findings as ``(rule, path, message)``
+triples.  CI runs the checkers with ``--baseline``: a finding matching a
+baseline triple is reported but does not fail the build, so legacy
+suppressions stay auditable in one reviewable file while any *new*
+violation (different rule, file, or message) still gates.  Matching is
+deliberately count-insensitive — two identical findings on different
+lines of the same file match one triple — because line numbers churn with
+unrelated edits; tightening a file past its baseline is done by
+regenerating the file with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .framework import Checker, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def violations_to_json(
+    violations: Sequence[Violation], *, file_count: int
+) -> dict[str, Any]:
+    """Stable machine-readable form: one object per finding."""
+    return {
+        "files_analyzed": file_count,
+        "violations": [
+            {
+                "rule": violation.rule,
+                "path": violation.path,
+                "line": violation.line,
+                "severity": violation.severity,
+                "message": violation.message,
+                "hint": violation.hint,
+            }
+            for violation in violations
+        ],
+    }
+
+
+def _sarif_rules(checkers: Iterable[Checker]) -> list[dict[str, Any]]:
+    rules: list[dict[str, Any]] = []
+    for checker in checkers:
+        for rule in checker.rules:
+            descriptor: dict[str, Any] = {"id": rule}
+            description = checker.descriptions.get(rule)
+            if description:
+                descriptor["shortDescription"] = {"text": description}
+            rules.append(descriptor)
+    return rules
+
+
+def violations_to_sarif(
+    violations: Sequence[Violation], checkers: Iterable[Checker]
+) -> dict[str, Any]:
+    """Minimal SARIF 2.1.0 log: one run, one result per finding."""
+    results: list[dict[str, Any]] = []
+    for violation in violations:
+        message = violation.message
+        if violation.hint:
+            message = f"{message} ({violation.hint})"
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "level": "error" if violation.severity == "error" else "warning",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": violation.path},
+                            "region": {"startLine": violation.line},
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": _sarif_rules(checkers),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Accepted legacy findings, matched on ``(rule, path, message)``."""
+
+    entries: frozenset[tuple[str, str, str]]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = frozenset(
+            (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+            for entry in data.get("violations", [])
+        )
+        return cls(entries=entries)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        return cls(
+            entries=frozenset(
+                (violation.rule, violation.path, violation.message)
+                for violation in violations
+            )
+        )
+
+    def contains(self, violation: Violation) -> bool:
+        key = (violation.rule, violation.path, violation.message)
+        return key in self.entries
+
+    def split(
+        self, violations: Sequence[Violation]
+    ) -> tuple[list[Violation], list[Violation]]:
+        """Partition into (new, baselined) findings."""
+        new: list[Violation] = []
+        baselined: list[Violation] = []
+        for violation in violations:
+            (baselined if self.contains(violation) else new).append(violation)
+        return new, baselined
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "comment": (
+                "Accepted legacy findings; matched count-insensitively on "
+                "(rule, path, message). Regenerate with "
+                "python -m repro.analysis --write-baseline after an "
+                "intentional change."
+            ),
+            "violations": [
+                {"rule": rule, "path": path, "message": message}
+                for rule, path, message in sorted(self.entries)
+            ],
+        }
+
+    def write(self, path: Path) -> None:
+        path.write_text(
+            json.dumps(self.to_json(), indent=2) + "\n", encoding="utf-8"
+        )
+
+
+def render_rules(checkers: Iterable[Checker]) -> str:
+    """The ``--rules`` listing: every rule id with its one-line contract."""
+    lines: list[str] = []
+    for checker in checkers:
+        lines.append(f"{checker.name}:")
+        for rule in checker.rules:
+            description = checker.descriptions.get(rule, "")
+            if description:
+                lines.append(f"  {rule}: {description}")
+            else:
+                lines.append(f"  {rule}")
+    return "\n".join(lines)
+
+
+def render_report(
+    fmt: str,
+    violations: Sequence[Violation],
+    *,
+    file_count: int,
+    checkers: Iterable[Checker],
+) -> str:
+    """Render findings in ``text`` / ``json`` / ``sarif`` form."""
+    if fmt == "json":
+        return json.dumps(
+            violations_to_json(violations, file_count=file_count), indent=2
+        )
+    if fmt == "sarif":
+        return json.dumps(violations_to_sarif(violations, checkers), indent=2)
+    lines = [violation.render() for violation in violations]
+    if violations:
+        lines.append(f"{len(violations)} violation(s) across {file_count} file(s)")
+    else:
+        lines.append(f"OK: {file_count} file(s), 0 violations")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Baseline",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "render_report",
+    "render_rules",
+    "violations_to_json",
+    "violations_to_sarif",
+]

@@ -1,5 +1,6 @@
 """Shared value types: schemas, predicates, queries, errors, RNG helpers."""
 
+from .clock import monotonic_seconds
 from .errors import (
     ExecutionError,
     PartitioningError,
@@ -24,6 +25,7 @@ from .predicates import (
 )
 from .query import JoinClause, Query, join_query, scan_query
 from .rng import DEFAULT_SEED, derive_rng, make_rng, spawn_rngs
+from .sanitize import SanitizeError, sanitize_enabled, set_sanitize
 from .schema import Column, DataType, Schema
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "Predicate",
     "Query",
     "ReproError",
+    "SanitizeError",
     "Schema",
     "SchemaError",
     "StorageError",
@@ -53,7 +56,10 @@ __all__ = [
     "le",
     "lt",
     "make_rng",
+    "monotonic_seconds",
     "rows_matching",
+    "sanitize_enabled",
     "scan_query",
+    "set_sanitize",
     "spawn_rngs",
 ]

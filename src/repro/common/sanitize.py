@@ -1,0 +1,181 @@
+"""Runtime sanitizer: dynamic enforcement of the statically-checked contracts.
+
+``REPRO_SANITIZE=1`` (or :func:`set_sanitize`) turns on cheap runtime
+cross-checks of the invariants ``repro.analysis`` proves statically, so
+one CI job runs the whole tier-1 suite with the contracts *enforced*
+rather than merely audited:
+
+* Worker-side shared-memory views become **actually** read-only —
+  :func:`freeze_attached` flips ``writeable=False`` on every attached
+  array, so a worker write the static checker missed raises
+  ``ValueError`` at the write site instead of corrupting parent blocks.
+* Every ``bump_epoch(delta)`` cross-checks the *previous* bump's
+  descriptor against the partition-state changes actually observed since
+  (:class:`PartitionStateSnapshot`) — an under-described delta raises
+  :class:`SanitizeError` naming the missing ids, the dynamic twin of the
+  ``delta-completeness`` rule.
+* Cache-serve paths assert their container copies do not alias the
+  cached entry (:func:`assert_unaliased`, :func:`assert_no_shared_memory`)
+  so a caller mutating a served plan can never poison the cache.
+
+All checks are no-ops when the sanitizer is off; the hooks cost one
+predicate call on hot paths.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .epochs import PartitionDelta
+from .errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..storage.table import StoredTable
+
+ENV_VAR = "REPRO_SANITIZE"
+
+_override: bool | None = None
+
+
+class SanitizeError(ReproError):
+    """A runtime contract check failed under ``REPRO_SANITIZE=1``."""
+
+
+def sanitize_enabled() -> bool:
+    """Whether sanitizer checks are active (env var or explicit override)."""
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+def set_sanitize(enabled: bool | None) -> None:
+    """Force the sanitizer on/off (tests); ``None`` defers to the env var."""
+    global _override
+    _override = enabled
+
+
+def freeze_attached(columns: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Make attached shared-memory views read-only under the sanitizer."""
+    if sanitize_enabled():
+        for array in columns.values():
+            array.setflags(write=False)
+    return columns
+
+
+def assert_unaliased(served: object, cached: object, what: str) -> None:
+    """Assert a served container is a copy of (not the same object as) the cached one.
+
+    Recurses one level into dict values so ``{table: [ids]}`` copies are
+    checked per key.  Element objects may be shared — only the mutable
+    containers themselves must be fresh.
+    """
+    if not sanitize_enabled():
+        return
+    _assert_unaliased(served, cached, what)
+
+
+def _assert_unaliased(served: object, cached: object, what: str) -> None:
+    if not isinstance(cached, (list, dict, set)):
+        return
+    if served is cached:
+        raise SanitizeError(
+            f"{what}: served container aliases the cached entry; a caller "
+            "mutating the served plan would poison the cache"
+        )
+    if isinstance(cached, dict) and isinstance(served, dict):
+        for key, value in cached.items():
+            if key in served:
+                _assert_unaliased(served[key], value, f"{what}[{key!r}]")
+
+
+def assert_no_shared_memory(
+    fresh: np.ndarray, cached: np.ndarray, what: str
+) -> None:
+    """Assert a patched array does not share storage with the cached one."""
+    if not sanitize_enabled():
+        return
+    if np.shares_memory(fresh, cached):
+        raise SanitizeError(
+            f"{what}: patched array shares memory with the cached entry; "
+            "in-place patching would corrupt it"
+        )
+
+
+@dataclass
+class PartitionStateSnapshot:
+    """Observable partition state at one bump, plus that bump's descriptor.
+
+    Captured by ``StoredTable.bump_epoch`` when the sanitizer is on;
+    verified at the *next* bump (the bump-before-mutate discipline means a
+    descriptor is complete only once its mutation finished, which is
+    guaranteed by the time any later bump runs).
+    """
+
+    block_rows: dict[int, int]
+    tree_ids: frozenset[int]
+    delta: PartitionDelta
+
+    @classmethod
+    def capture(
+        cls, table: "StoredTable", delta: PartitionDelta
+    ) -> "PartitionStateSnapshot":
+        return cls(
+            block_rows=dict(table._block_rows),
+            tree_ids=frozenset(table.trees),
+            delta=delta,
+        )
+
+    def verify(
+        self, table: "StoredTable", incoming: PartitionDelta | None = None
+    ) -> None:
+        """Raise :class:`SanitizeError` if observed changes exceed the descriptor.
+
+        ``incoming`` is the descriptor of the bump triggering this check.
+        A *full* incoming descriptor skips verification: full-change paths
+        (initial load, full repartitioning) legitimately mutate state just
+        before their own bump, and the blanket descriptor covers those
+        mutations for every chain consumer.
+        """
+        if self.delta.full or (incoming is not None and incoming.full):
+            return
+        described_blocks = self.delta.blocks_changed | self.delta.blocks_dropped
+        missing: list[str] = []
+        observed_rows = table._block_rows
+        for block_id, rows in observed_rows.items():
+            if (
+                self.block_rows.get(block_id) != rows
+                and block_id not in described_blocks
+            ):
+                missing.append(f"block {block_id} rows changed")
+        for block_id in self.block_rows:
+            if block_id not in observed_rows and block_id not in described_blocks:
+                missing.append(f"block {block_id} removed")
+        observed_trees = frozenset(table.trees)
+        for tree_id in sorted(observed_trees - self.tree_ids):
+            if tree_id not in self.delta.trees_added:
+                missing.append(f"tree {tree_id} added")
+        for tree_id in sorted(self.tree_ids - observed_trees):
+            if tree_id not in self.delta.trees_dropped:
+                missing.append(f"tree {tree_id} removed")
+        if missing:
+            raise SanitizeError(
+                f"table {table.name!r}: the last PartitionDelta "
+                "under-describes the mutation that followed it: "
+                + "; ".join(sorted(missing))
+            )
+
+
+__all__ = [
+    "ENV_VAR",
+    "PartitionStateSnapshot",
+    "SanitizeError",
+    "assert_no_shared_memory",
+    "assert_unaliased",
+    "freeze_attached",
+    "sanitize_enabled",
+    "set_sanitize",
+]

@@ -22,6 +22,7 @@ from ..common.epochs import PartitionDelta, epoch_keyed
 from ..common.errors import PlanningError
 from ..common.lru import BoundedLRU
 from ..common.predicates import Predicate
+from ..common.sanitize import assert_no_shared_memory, sanitize_enabled
 from ..storage.dfs import DistributedFileSystem
 from .grouping import Grouping, average_probe_multiplicity, group_blocks, matrix_row_digests
 from .kernels import KeyHistogram, join_match_count
@@ -334,6 +335,12 @@ class HyperPlanCache:
         else:
             grouping = Grouping(groups=[])
             multiplicity = 1.0
+        if sanitize_enabled():
+            # The patched matrix must be fresh storage: sharing memory with
+            # the old entry would mean the in-place patch corrupted it.
+            assert_no_shared_memory(
+                overlap, old.plan.overlap, "HyperPlanCache upgrade overlap"
+            )
         plan = HyperJoinPlan(
             build_block_ids=list(build_ids),
             probe_block_ids=list(probe_ids),

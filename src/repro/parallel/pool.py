@@ -22,13 +22,13 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import sys
-import time
 import traceback
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
+from ..common.clock import monotonic_seconds
 from ..common.errors import ExecutionError
 from ..common.predicates import Predicate
 from ..exec.kernels_tasks import (
@@ -41,14 +41,14 @@ from ..storage.shared_memory import SharedSegmentCache, TablePin
 
 
 def _wall() -> float:
-    """The pool's only wall-clock source (reporting-only measurements).
+    """The pool's wall-clock source (reporting-only measurements).
 
     Measured task durations are reported on ``QueryResult.wall_seconds``
     and in the calibration harness; they never feed a planning decision or
-    a fingerprint, hence the determinism-checker waiver.
+    a fingerprint, so they go through the sanctioned
+    :func:`repro.common.clock.monotonic_seconds` helper.
     """
-    # repro: allow[no-wall-clock]
-    return time.perf_counter()
+    return monotonic_seconds()
 
 
 # --------------------------------------------------------------------- #

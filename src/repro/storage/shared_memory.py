@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..common.errors import StorageError
+from ..common.sanitize import freeze_attached
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .table import StoredTable
@@ -159,7 +160,9 @@ def _views_of(buffer: memoryview, spec: BlockSpec) -> dict[str, np.ndarray]:
             columns[col.name] = np.frombuffer(
                 buffer, dtype=np.dtype(col.dtype), count=col.length, offset=col.offset
             )
-    return columns
+    # Under REPRO_SANITIZE=1 the views are actually read-only, so a worker
+    # write raises at the write site instead of corrupting parent blocks.
+    return freeze_attached(columns)
 
 
 class SharedSegmentCache:

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..common.epochs import PartitionDelta, mutates_partition_state
 from ..common.errors import PartitioningError, StorageError
+from ..common.sanitize import PartitionStateSnapshot, sanitize_enabled
 from ..common.predicates import Predicate
 from ..common.schema import Schema
 from ..partitioning.tree import PartitioningTree
@@ -122,6 +123,11 @@ class StoredTable:
     _non_empty: dict[int, set[int]] = field(default_factory=dict, repr=False)
     _total_rows: int = field(default=0, repr=False)
     _empty_template: dict[str, np.ndarray] | None = field(default=None, repr=False)
+    # Sanitizer state (REPRO_SANITIZE=1): the previous bump's snapshot,
+    # verified against observed changes at the next bump.
+    _sanitize_snapshot: PartitionStateSnapshot | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -215,12 +221,35 @@ class StoredTable:
         by :attr:`delta_chain_limit`; older entries are dropped, which makes
         :meth:`delta_between` return ``None`` (= recompute) for spans that
         reach past the retained window.
+
+        Under ``REPRO_SANITIZE=1`` each bump first cross-checks the
+        previous bump's descriptor against the partition-state changes
+        actually observed since (by then its mutation has completed), then
+        snapshots the current state for the next check.
         """
+        if sanitize_enabled():
+            self.verify_pending_delta(delta)
         self._epoch += 1
         self._delta_chain.append((self._epoch, delta))
         if len(self._delta_chain) > self.delta_chain_limit:
             del self._delta_chain[: -self.delta_chain_limit]
+        if sanitize_enabled():
+            self._sanitize_snapshot = PartitionStateSnapshot.capture(self, delta)
         return self._epoch
+
+    def verify_pending_delta(self, incoming: PartitionDelta | None = None) -> None:
+        """Sanitizer: check the last bump's descriptor against observed changes.
+
+        A no-op when no snapshot is pending (sanitizer off, or no bump since
+        the last verification).  ``incoming`` is the descriptor of the bump
+        that triggered the check, if any.  Raises
+        :class:`~repro.common.sanitize.SanitizeError` on an under-described
+        descriptor.
+        """
+        snapshot = self._sanitize_snapshot
+        self._sanitize_snapshot = None
+        if snapshot is not None:
+            snapshot.verify(self, incoming)
 
     def delta_between(self, start_epoch: int, end_epoch: int) -> PartitionDelta | None:
         """Merged change descriptor covering ``(start_epoch, end_epoch]``.

@@ -15,7 +15,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import ALL_CHECKERS, ALL_RULES, analyze_paths, analyze_source
+from repro.analysis import (
+    ALL_CHECKERS,
+    ALL_RULES,
+    SourceFile,
+    analyze_files,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.report import (
+    Baseline,
+    render_rules,
+    violations_to_json,
+    violations_to_sarif,
+)
 from repro.common.errors import PlanningError
 from repro.common.lru import BoundedLRU
 
@@ -465,3 +478,563 @@ class TestBoundedLRUKeys:
         cache.put(("a", 1), "x")
         assert cache.get(("a", 1)) == "x"
         assert cache.hits == 1
+
+
+# --------------------------------------------------------------------- #
+# delta-completeness / delta-over-description
+# --------------------------------------------------------------------- #
+class TestDeltaCompleteness:
+    BAD = """
+from repro.common.epochs import PartitionDelta
+
+
+class StoredTable:
+    def shrink(self, block_id, tree_id):
+        del self._block_rows[block_id]
+        self.trees[tree_id] = None
+        delta = PartitionDelta(blocks_changed={block_id})
+        self.bump_epoch(delta)
+"""
+
+    GOOD = """
+from repro.common.epochs import PartitionDelta
+
+
+class StoredTable:
+    def shrink(self, block_id, tree_id):
+        del self._block_rows[block_id]
+        self.trees[tree_id] = None
+        delta = PartitionDelta(
+            blocks_changed={block_id}, trees_dropped={tree_id}
+        )
+        self.bump_epoch(delta)
+"""
+
+    def test_under_described_tree_mutation_fires(self):
+        violations = analyze_source(self.BAD, module="repro.storage.table")
+        assert rules_of(violations) == {"delta-completeness"}
+        assert "tree_id" in violations[0].message
+        assert violations[0].severity == "error"
+
+    def test_fully_described_twin_is_quiet(self):
+        assert analyze_source(self.GOOD, module="repro.storage.table") == []
+
+    def test_over_description_warns(self):
+        violations = analyze_source(
+            """
+from repro.common.epochs import PartitionDelta
+
+
+class StoredTable:
+    def touch(self, block_id, other_id):
+        del self._block_rows[block_id]
+        delta = PartitionDelta(blocks_changed={block_id, other_id})
+        self.bump_epoch(delta)
+""",
+            module="repro.storage.table",
+        )
+        assert rules_of(violations) == {"delta-over-description"}
+        assert violations[0].severity == "warning"
+        assert "other_id" in violations[0].message
+
+    def test_parameter_delta_is_the_callers_obligation(self):
+        # A delta received as a parameter is described by the caller; the
+        # callee must not be flagged for mutations the caller describes.
+        assert (
+            analyze_source(
+                """
+class StoredTable:
+    def forget(self, tree_id, delta):
+        del self.trees[tree_id]
+        self.bump_epoch(delta)
+""",
+                module="repro.storage.table",
+            )
+            == []
+        )
+
+    def test_full_change_blankets_everything(self):
+        assert (
+            analyze_source(
+                """
+from repro.common.epochs import PartitionDelta
+
+
+class StoredTable:
+    def rebuild(self, block_id, tree_id):
+        del self._block_rows[block_id]
+        del self.trees[tree_id]
+        self.bump_epoch(PartitionDelta.full_change())
+""",
+                module="repro.storage.table",
+            )
+            == []
+        )
+
+    def test_mutation_via_summarized_helper_fires(self):
+        violations = analyze_source(
+            """
+from repro.common.epochs import PartitionDelta, mutates_partition_state
+
+
+class StoredTable:
+    @mutates_partition_state
+    def _drop(self, tree_id):
+        del self.trees[tree_id]
+
+    def shrink(self, tree_id):
+        delta = PartitionDelta()
+        self.bump_epoch(delta)
+        self._drop(tree_id)
+""",
+            module="repro.storage.table",
+        )
+        assert rules_of(violations) == {"delta-completeness"}
+        assert "tree_id" in violations[0].message
+
+    def test_loop_over_described_collection_is_quiet(self):
+        assert (
+            analyze_source(
+                """
+from repro.common.epochs import PartitionDelta
+
+
+class StoredTable:
+    def drop_many(self, doomed):
+        delta = PartitionDelta(trees_dropped=doomed)
+        self.bump_epoch(delta)
+        for tree_id in doomed:
+            del self.trees[tree_id]
+""",
+                module="repro.storage.table",
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# shmem races
+# --------------------------------------------------------------------- #
+class TestShmemRaces:
+    def test_worker_write_to_attached_view_fires(self):
+        violations = analyze_source(
+            """
+def run_scan(view, payload):
+    arr = view.columns["a"]
+    arr[0] = 1.0
+""",
+            module="repro.exec.kernels_tasks",
+        )
+        assert rules_of(violations) == {"shmem-attached-write"}
+
+    def test_copy_before_write_is_quiet(self):
+        assert (
+            analyze_source(
+                """
+import numpy as np
+
+
+def run_scan(view, payload):
+    arr = np.array(view.columns["a"])
+    arr[0] = 1.0
+""",
+                module="repro.exec.kernels_tasks",
+            )
+            == []
+        )
+
+    def test_taint_flows_through_helper_calls(self):
+        violations = analyze_source(
+            """
+def _helper(block):
+    block[0] = 99
+
+
+def run_scan(view, payload):
+    _helper(view.columns["a"])
+""",
+            module="repro.exec.kernels_tasks",
+        )
+        assert rules_of(violations) == {"shmem-attached-write"}
+        assert "_helper" in violations[0].message
+
+    def test_inplace_ndarray_method_fires(self):
+        violations = analyze_source(
+            """
+def run_scan(view, payload):
+    view.columns["a"].sort()
+""",
+            module="repro.exec.kernels_tasks",
+        )
+        assert rules_of(violations) == {"shmem-attached-write"}
+
+    def test_setflags_write_false_is_sanctioned(self):
+        text_template = """
+def run_scan(view, payload):
+    view.columns["a"].setflags(write={value})
+"""
+        assert (
+            analyze_source(
+                text_template.format(value="False"),
+                module="repro.exec.kernels_tasks",
+            )
+            == []
+        )
+        violations = analyze_source(
+            text_template.format(value="True"),
+            module="repro.exec.kernels_tasks",
+        )
+        assert rules_of(violations) == {"shmem-attached-write"}
+
+    def test_parent_only_api_call_fires(self):
+        violations = analyze_source(
+            """
+def run_scan(view, payload, store):
+    store.pin_table(payload.table)
+""",
+            module="repro.exec.kernels_tasks",
+        )
+        assert rules_of(violations) == {"shmem-parent-state"}
+
+    def test_parent_type_reference_fires(self):
+        violations = analyze_source(
+            """
+def run_scan(view, payload):
+    return WorkerPool
+""",
+            module="repro.exec.kernels_tasks",
+        )
+        assert rules_of(violations) == {"shmem-parent-state"}
+
+    def test_non_worker_function_is_out_of_scope(self):
+        # apply_* helpers run parent-side; the worker rules must not reach
+        # functions unreachable from the worker roots.
+        assert (
+            analyze_source(
+                """
+def apply_results(table, results):
+    table.pin_table("t")
+""",
+                module="repro.exec.kernels_tasks",
+            )
+            == []
+        )
+
+    def test_unfrozen_payload_class_fires(self):
+        violations = analyze_source(
+            """
+from dataclasses import dataclass
+
+
+@dataclass
+class ScanPayload:
+    task_id: int
+""",
+            module="repro.parallel.pool",
+        )
+        assert rules_of(violations) == {"shmem-payload-frozen"}
+        assert (
+            analyze_source(
+                """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScanPayload:
+    task_id: int
+""",
+                module="repro.parallel.pool",
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# cross-file whole-program analysis
+# --------------------------------------------------------------------- #
+class TestCrossFileAnalysis:
+    STORAGE = """
+from repro.common.epochs import mutates_partition_state
+
+
+class DistributedFileSystem:
+    @mutates_partition_state
+    def delete_block(self, block_id):
+        self._blocks.pop(block_id, None)
+
+
+class StoredTable:
+    def bump_epoch(self, delta):
+        self._epoch += 1
+
+    def commit(self, delta):
+        self.bump_epoch(delta)
+        self._flush()
+"""
+
+    def _analyze_pair(self, caller_text):
+        files = [
+            SourceFile.from_text(
+                self.STORAGE, path="table.py", module="repro.storage.table"
+            ),
+            SourceFile.from_text(
+                caller_text, path="caller.py", module="repro.adaptive.caller"
+            ),
+        ]
+        return analyze_files(files, ALL_CHECKERS)
+
+    def test_mutator_followed_by_cross_file_proven_bump_is_quiet(self):
+        violations = self._analyze_pair(
+            """
+def adapt(table, delta):
+    table.delete_block(3)
+    table.commit(delta)
+"""
+        )
+        assert violations == []
+
+    def test_mutator_without_bumping_call_fires(self):
+        violations = self._analyze_pair(
+            """
+def adapt(table, delta):
+    table.delete_block(3)
+"""
+        )
+        assert rules_of(violations) == {"epoch-discipline"}
+
+
+# --------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_multi_rule_suppression(self):
+        text = (
+            "import time\n"
+            "t = time.time()  "
+            "# repro: allow[no-wall-clock, no-stdlib-random]\n"
+        )
+        assert analyze_source(text, module="repro.exec.snippet") == []
+
+    def test_multi_rule_suppression_needs_the_right_id(self):
+        text = (
+            "import time\n"
+            "t = time.time()  "
+            "# repro: allow[no-stdlib-random, unseeded-rng]\n"
+        )
+        violations = analyze_source(text, module="repro.exec.snippet")
+        assert rules_of(violations) == {"no-wall-clock"}
+
+    def test_suppression_on_decorator_line_covers_it(self):
+        text = """
+import numpy as np
+
+
+# repro: allow[no-global-numpy-rng, unseeded-rng]
+@np.vectorize(np.random.default_rng())
+def f(x):
+    return x
+"""
+        assert analyze_source(text, module="repro.exec.snippet") == []
+
+
+# --------------------------------------------------------------------- #
+# report formats and the baseline
+# --------------------------------------------------------------------- #
+SARIF_SHAPE_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    }
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": [
+                                "ruleId",
+                                "level",
+                                "message",
+                                "locations",
+                            ],
+                            "properties": {
+                                "level": {"enum": ["error", "warning"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class TestReportFormats:
+    def _violations(self):
+        return analyze_source(
+            "import random\n", module="repro.exec.snippet", path="x.py"
+        )
+
+    def test_json_golden(self):
+        payload = violations_to_json(self._violations(), file_count=1)
+        assert payload == {
+            "files_analyzed": 1,
+            "violations": [
+                {
+                    "rule": "no-stdlib-random",
+                    "path": "x.py",
+                    "line": 1,
+                    "severity": "error",
+                    "message": "stdlib random imported in a deterministic module",
+                    "hint": "use repro.common.rng.make_rng instead",
+                }
+            ],
+        }
+
+    def test_sarif_validates_against_schema_shape(self):
+        jsonschema = pytest.importorskip("jsonschema")
+
+        log = violations_to_sarif(self._violations(), ALL_CHECKERS)
+        jsonschema.validate(log, SARIF_SHAPE_SCHEMA)
+        driver_rules = {
+            rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]
+        }
+        for result in log["runs"][0]["results"]:
+            assert result["ruleId"] in driver_rules
+
+    def test_sarif_levels_follow_severity(self):
+        violations = analyze_source(
+            """
+from repro.common.epochs import PartitionDelta
+
+
+class StoredTable:
+    def touch(self, block_id, other_id):
+        del self._block_rows[block_id]
+        delta = PartitionDelta(blocks_changed={block_id, other_id})
+        self.bump_epoch(delta)
+""",
+            module="repro.storage.table",
+        )
+        log = violations_to_sarif(violations, ALL_CHECKERS)
+        assert [r["level"] for r in log["runs"][0]["results"]] == ["warning"]
+
+    def test_baseline_round_trip(self, tmp_path):
+        violations = self._violations()
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_violations(violations).write(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        new, baselined = loaded.split(violations)
+        assert new == [] and len(baselined) == 1
+        other = analyze_source(
+            "import random\n", module="repro.exec.other", path="y.py"
+        )
+        new, baselined = loaded.split(other)
+        assert len(new) == 1 and baselined == []
+
+    def test_rules_listing_covers_every_rule(self):
+        listing = render_rules(ALL_CHECKERS)
+        for rule in ALL_RULES:
+            assert rule in listing
+
+    def test_committed_baseline_matches_current_findings(self):
+        # The committed baseline must stay exactly in sync with the tree:
+        # no un-baselined finding (new violations must be fixed, not
+        # accepted silently) and no stale acceptance (a fixed legacy
+        # finding must leave the baseline).  The baseline stores
+        # repo-relative paths — CI runs the CLI from the repo root.
+        baseline = Baseline.load(REPO / "analysis_baseline.json")
+        violations, _ = analyze_paths(
+            [SRC, REPO / "tests", REPO / "benchmarks"]
+        )
+        current = {
+            (v.rule, str(Path(v.path).relative_to(REPO)), v.message)
+            for v in violations
+        }
+        new = current - baseline.entries
+        stale = baseline.entries - current
+        assert new == set(), f"un-baselined findings: {sorted(new)}"
+        assert stale == set(), f"stale baseline entries: {sorted(stale)}"
+
+
+class TestCLIFormats:
+    def _run(self, tmp_path, *extra):
+        # unseeded-rng fires regardless of module scope, so the fixture
+        # file needs no repro package context.
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import numpy as np\n\nrng = np.random.default_rng()\n",
+            encoding="utf-8",
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(bad), *extra],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=tmp_path,
+        )
+
+    def test_sarif_output_file_and_timing_line(self, tmp_path):
+        import json
+
+        out = tmp_path / "analysis.sarif"
+        proc = self._run(tmp_path, "--format", "sarif", "--out", str(out))
+        assert proc.returncode == 1
+        log = json.loads(out.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        assert "repro.analysis:" in proc.stderr and "gating" in proc.stderr
+
+    def test_baseline_downgrades_known_findings(self, tmp_path):
+        write = self._run(
+            tmp_path, "--write-baseline", str(tmp_path / "baseline.json")
+        )
+        assert write.returncode == 0
+        gated = self._run(tmp_path)
+        assert gated.returncode == 1
+        accepted = self._run(
+            tmp_path, "--baseline", str(tmp_path / "baseline.json")
+        )
+        assert accepted.returncode == 0, accepted.stdout + accepted.stderr
+
+    def test_rules_listing_mode(self, tmp_path):
+        proc = self._run(tmp_path, "--rules")
+        assert proc.returncode == 0
+        assert "delta-completeness" in proc.stdout
+        assert "shmem-attached-write" in proc.stdout

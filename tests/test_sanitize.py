@@ -1,0 +1,168 @@
+"""Runtime sanitizer (REPRO_SANITIZE=1): dynamic twins of the static rules.
+
+Each check is exercised positively (a seeded contract violation raises)
+and negatively (the sanctioned behaviour stays quiet, and everything is a
+no-op with the sanitizer off).  CI additionally runs the whole tier-1
+suite once with the sanitizer enabled, so the production code paths are
+exercised under enforcement too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.epochs import PartitionDelta
+from repro.common.rng import make_rng
+from repro.common.sanitize import (
+    SanitizeError,
+    assert_no_shared_memory,
+    assert_unaliased,
+    sanitize_enabled,
+    set_sanitize,
+)
+from repro.common.schema import DataType, Schema
+from repro.partitioning.upfront import UpfrontPartitioner
+from repro.storage.dfs import DistributedFileSystem
+from repro.storage.shared_memory import BlockSpec, ColumnSpec, _views_of
+from repro.storage.table import ColumnTable, StoredTable
+
+
+@pytest.fixture
+def sanitize():
+    """Force the sanitizer on for one test, restoring env-var control after."""
+    set_sanitize(True)
+    yield
+    set_sanitize(None)
+
+
+def make_stored(rows: int = 400, rows_per_block: int = 64) -> StoredTable:
+    rng = np.random.default_rng(3)
+    schema = Schema.of(("key", DataType.INT), ("value", DataType.FLOAT))
+    table = ColumnTable(
+        "t",
+        schema,
+        {
+            "key": rng.integers(0, 1_000, size=rows),
+            "value": rng.uniform(0, 1, size=rows),
+        },
+    )
+    tree = UpfrontPartitioner(["key"], rows_per_block).build(
+        table.sample(rng=np.random.default_rng(4)), total_rows=rows
+    )
+    dfs = DistributedFileSystem(cluster=Cluster(num_machines=2), rng=make_rng(5))
+    return StoredTable.load(table, dfs, tree, rows_per_block=rows_per_block)
+
+
+class TestSwitch:
+    def test_override_beats_env(self, sanitize):
+        assert sanitize_enabled()
+        set_sanitize(False)
+        assert not sanitize_enabled()
+
+
+class TestFrozenViews:
+    def _spec_and_buffer(self) -> tuple[memoryview, BlockSpec]:
+        array = np.arange(8, dtype=np.int64)
+        buffer = memoryview(bytearray(array.tobytes()))
+        spec = BlockSpec(
+            block_id=0,
+            num_rows=8,
+            columns=(ColumnSpec("key", 0, array.dtype.str, 8),),
+        )
+        return buffer, spec
+
+    def test_attached_views_are_readonly(self, sanitize):
+        buffer, spec = self._spec_and_buffer()
+        columns = _views_of(buffer, spec)
+        with pytest.raises(ValueError):
+            columns["key"][0] = 99
+
+    def test_views_stay_writable_without_sanitizer(self):
+        set_sanitize(False)
+        try:
+            buffer, spec = self._spec_and_buffer()
+            columns = _views_of(buffer, spec)
+            columns["key"][0] = 99
+            assert columns["key"][0] == 99
+        finally:
+            set_sanitize(None)
+
+
+class TestDeltaCrossCheck:
+    def test_under_described_mutation_raises_at_next_bump(self, sanitize):
+        stored = make_stored()
+        block_id = stored.block_ids()[0]
+        stored.bump_epoch(PartitionDelta())  # claims nothing will change
+        # Seeded contract violation: partition state changes behind the
+        # (empty) descriptor's back.
+        # repro: allow[epoch-direct-write, delta-completeness]
+        stored._block_rows[block_id] += 7
+        with pytest.raises(SanitizeError, match="under-describes"):
+            stored.bump_epoch(PartitionDelta())
+
+    def test_described_mutation_is_quiet(self, sanitize):
+        stored = make_stored()
+        block_id = stored.block_ids()[0]
+        delta = PartitionDelta(blocks_changed={block_id})
+        stored.bump_epoch(delta)
+        # repro: allow[epoch-direct-write]
+        stored._block_rows[block_id] += 7
+        stored.bump_epoch(PartitionDelta())
+
+    def test_full_incoming_descriptor_blankets_prior_mutation(self, sanitize):
+        # Full-change paths (load, replace_with_tree) legitimately mutate
+        # just before their own bump; the blanket descriptor covers it.
+        stored = make_stored()
+        block_id = stored.block_ids()[0]
+        stored.bump_epoch(PartitionDelta())
+        # repro: allow[epoch-direct-write]
+        stored._block_rows[block_id] += 7
+        stored.bump_epoch(PartitionDelta.full_change())
+
+    def test_real_mutation_paths_verify_clean(self, sanitize):
+        stored = make_stored()
+        tree = UpfrontPartitioner(["value"], stored.rows_per_block).build(
+            stored.sample, total_rows=stored.total_rows
+        )
+        target = stored.add_empty_tree(tree)
+        stored.move_blocks(stored.block_ids()[:2], target)
+        stored.drop_empty_trees()
+        stored.verify_pending_delta()
+
+    def test_verify_is_noop_when_disabled(self):
+        set_sanitize(False)
+        try:
+            stored = make_stored()
+            block_id = stored.block_ids()[0]
+            stored.bump_epoch(PartitionDelta())
+            # repro: allow[epoch-direct-write, delta-completeness]
+            stored._block_rows[block_id] += 7
+            stored.bump_epoch(PartitionDelta())  # no snapshot, no check
+        finally:
+            set_sanitize(None)
+
+
+class TestAliasingAsserts:
+    def test_aliased_container_raises(self, sanitize):
+        cached = {"t": [1, 2]}
+        with pytest.raises(SanitizeError, match="aliases"):
+            assert_unaliased(cached, cached, "plan")
+
+    def test_aliased_inner_list_raises(self, sanitize):
+        cached = {"t": [1, 2]}
+        served = dict(cached)  # outer copied, inner shared
+        with pytest.raises(SanitizeError, match="plan\\['t'\\]"):
+            assert_unaliased(served, cached, "plan")
+
+    def test_copied_containers_are_quiet(self, sanitize):
+        cached = {"t": [1, 2]}
+        served = {table: list(ids) for table, ids in cached.items()}
+        assert_unaliased(served, cached, "plan")
+
+    def test_shared_ndarray_storage_raises(self, sanitize):
+        cached = np.zeros((3, 3), dtype=bool)
+        with pytest.raises(SanitizeError, match="shares memory"):
+            assert_no_shared_memory(cached[1:], cached, "overlap")
+        assert_no_shared_memory(cached.copy(), cached, "overlap")
