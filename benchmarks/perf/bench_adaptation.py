@@ -14,6 +14,14 @@ Times the hot paths this repo's incremental-statistics work targets:
   disabled, recording cold vs. cached planning time, the cache hit rate, and
   whether every per-query result fingerprint is bit-identical between the
   two runs (it must be — the cache may only change planning time),
+* **persist** — the durable storage tier: the fig13-style switching workload
+  runs on an ``mmap`` session whose block buffer is budgeted well below the
+  working set (so blocks spill, evict and fault throughout), and every
+  per-query fingerprint must stay bit-identical to a plain in-memory
+  session; the session then checkpoints and reopens via ``Session.open``,
+  where a repeated-template pass must reproduce the pre-restart
+  fingerprints — cold on the first pass (the plan cache starts empty) and
+  from the plan cache on the second (restored epochs key it identically),
 * **sim** — a fig13-style concurrent workload on the ``repro.sim``
   discrete-event simulator: four closed-loop clients with think time plus a
   background repartitioning stream, reporting per-query latency percentiles,
@@ -334,6 +342,105 @@ def run_incremental_planning_benchmark(
 
 
 # --------------------------------------------------------------------------- #
+# Durable-storage benchmark (bounded-memory run + checkpoint/restart)
+# --------------------------------------------------------------------------- #
+
+def run_persist_benchmark(
+    scale: float,
+    rows_per_block: int,
+    queries_per_template: int,
+    buffer_bytes: int,
+    seed: int = 1,
+) -> dict:
+    """Bounded-memory mmap run vs. memory run, then checkpoint + reopen.
+
+    Three gated properties:
+
+    * an ``mmap`` session whose buffer budget is far below the working set
+      (every query faults and evicts) produces per-query fingerprints
+      bit-identical to a plain in-memory session,
+    * after ``checkpoint()`` + close + ``Session.open`` a repeated-template
+      pass reproduces the pre-restart fingerprints with an empty plan
+      cache (cold, identical results),
+    * the second post-restart pass hits the plan cache — the restored
+      epochs key it exactly as the original session did.
+    """
+    import shutil
+    import tempfile
+
+    templates = list(EVALUATED_TEMPLATES)
+
+    def build_session(config):
+        tables = TPCHGenerator(scale=scale, seed=seed).generate(
+            tables_for_templates(templates)
+        )
+        session = Session(config=config)
+        for table in tables.values():
+            session.load_table(table)
+        return session
+
+    queries = switching_workload(templates, queries_per_template, make_rng(seed))
+    repeated = queries[: len(templates)]
+
+    memory = build_session(
+        AdaptDBConfig(rows_per_block=rows_per_block, buffer_blocks=8, seed=seed)
+    )
+    expected = [r.fingerprint() for r in memory.run_workload(queries)]
+    memory.close()
+
+    storage_root = tempfile.mkdtemp(prefix="repro-bench-persist-")
+    try:
+        mmap_session = build_session(
+            AdaptDBConfig(
+                rows_per_block=rows_per_block, buffer_blocks=8, seed=seed,
+                persistence="mmap", storage_root=storage_root,
+                buffer_bytes=buffer_bytes,
+            )
+        )
+        start = time.perf_counter()
+        fingerprints = [
+            r.fingerprint() for r in mmap_session.run_workload(queries)
+        ]
+        mmap_wall = time.perf_counter() - start
+        buffer = mmap_session.persist.buffer
+        counters = {
+            "buffer_faults": buffer.faults,
+            "buffer_hits": buffer.hits,
+            "buffer_evictions": buffer.evictions,
+            "blocks_spilled": mmap_session.persist.store.spills,
+        }
+        pre_restart = [
+            mmap_session.run(query, adapt=False).fingerprint()
+            for query in repeated
+        ]
+        checkpoint_stats = mmap_session.checkpoint()
+        mmap_session.close()
+
+        reopened = Session.open(storage_root)
+        cold = [reopened.run(query, adapt=False) for query in repeated]
+        warm = [reopened.run(query, adapt=False) for query in repeated]
+        reopened.close()
+        return {
+            "num_queries": len(queries),
+            "scale": scale,
+            "rows_per_block": rows_per_block,
+            "buffer_bytes": buffer_bytes,
+            "mmap_wall_seconds": round(mmap_wall, 4),
+            "memory_identical": fingerprints == expected,
+            **counters,
+            **{f"checkpoint_{k}": v for k, v in checkpoint_stats.items()},
+            "restore_identical": [r.fingerprint() for r in cold] == pre_restart
+            and [r.fingerprint() for r in warm] == pre_restart,
+            "cold_cache_hits": sum(r.plan_cache_hit for r in cold),
+            "warm_hit_rate": round(
+                sum(r.plan_cache_hit for r in warm) / max(len(warm), 1), 4
+            ),
+        }
+    finally:
+        shutil.rmtree(storage_root, ignore_errors=True)
+
+
+# --------------------------------------------------------------------------- #
 # Concurrent-workload simulation benchmark
 # --------------------------------------------------------------------------- #
 
@@ -503,6 +610,10 @@ def run_suite(smoke: bool) -> dict:
         incremental = run_incremental_planning_benchmark(
             scale=0.05, rows_per_block=64, repeats=9
         )
+        persist = run_persist_benchmark(
+            scale=0.02, rows_per_block=64, queries_per_template=2,
+            buffer_bytes=96_000,
+        )
         sim = run_sim_workload_benchmark(
             scale=0.02, rows_per_block=128, num_clients=4, queries_per_client=2,
             background_repartition_blocks=64,
@@ -519,6 +630,10 @@ def run_suite(smoke: bool) -> dict:
         incremental = run_incremental_planning_benchmark(
             scale=0.1, rows_per_block=64, repeats=12
         )
+        persist = run_persist_benchmark(
+            scale=0.1, rows_per_block=64, queries_per_template=4,
+            buffer_bytes=256_000,
+        )
         sim = run_sim_workload_benchmark(
             scale=0.1, rows_per_block=512, num_clients=4, queries_per_client=4,
             background_repartition_blocks=200,
@@ -529,6 +644,7 @@ def run_suite(smoke: bool) -> dict:
         "end_to_end": e2e,
         "plan_cache": plan_cache,
         "incremental_planning": incremental,
+        "persist": persist,
         "sim": sim,
         "micro": {
             "lookup": bench_lookup(micro_rows, micro_rpb, iters),
@@ -593,6 +709,50 @@ def check_incremental(post: dict) -> int:
     return status
 
 
+def check_persist(post: dict) -> int:
+    """Gate the durable-storage benchmark.
+
+    Fatal if the bounded-memory mmap run diverged from the memory run, if
+    the budget never actually evicted (the run would not have exercised the
+    bounded-memory path), if the reopened session failed to reproduce the
+    pre-restart fingerprints, or if the restored epochs failed to key the
+    plan cache (no hits on the second post-restart pass).
+    """
+    persist = post.get("persist")
+    if not persist:
+        return 0
+    print(f"persist: {persist['num_queries']} queries under a "
+          f"{persist['buffer_bytes']}-byte buffer, "
+          f"{persist['buffer_faults']} faults / "
+          f"{persist['buffer_evictions']} evictions / "
+          f"{persist['blocks_spilled']} spills, "
+          f"memory-identical: {persist['memory_identical']}, "
+          f"restore-identical: {persist['restore_identical']}, "
+          f"post-restart hit rate {persist['warm_hit_rate']}")
+    status = 0
+    if not persist["memory_identical"]:
+        print("ERROR: bounded-memory mmap run diverged from the in-memory run",
+              file=sys.stderr)
+        status = 1
+    if persist["buffer_evictions"] <= 0 or persist["buffer_faults"] <= 0:
+        print("ERROR: the buffer budget never evicted/faulted — the benchmark "
+              "did not exercise the bounded-memory tier", file=sys.stderr)
+        status = 1
+    if not persist["restore_identical"]:
+        print("ERROR: the reopened session failed to reproduce the "
+              "pre-restart result fingerprints", file=sys.stderr)
+        status = 1
+    if persist["cold_cache_hits"] != 0:
+        print("ERROR: the reopened session's first pass hit a plan cache "
+              "that should start empty", file=sys.stderr)
+        status = 1
+    if persist["warm_hit_rate"] <= 0:
+        print("ERROR: restored epochs never keyed the plan cache "
+              "(no hits on the second post-restart pass)", file=sys.stderr)
+        status = 1
+    return status
+
+
 def check_sim(post: dict) -> int:
     """Gate the sim benchmark: the concurrent run must be deterministic."""
     sim = post.get("sim")
@@ -617,7 +777,8 @@ def compare(data: dict) -> int:
     """Report pre/post speedup and fingerprint equality; non-zero on mismatch."""
     post = data.get("post")
     status = (
-        check_plan_cache(post) + check_incremental(post) + check_sim(post)
+        check_plan_cache(post) + check_incremental(post)
+        + check_persist(post) + check_sim(post)
     ) if post else 0
     pre = data.get("pre")
     if not (pre and post):

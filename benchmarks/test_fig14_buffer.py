@@ -21,3 +21,12 @@ def test_fig14_memory_buffer(benchmark, show):
     first_gain = blocks[0] - blocks[1]
     last_gain = blocks[-2] - blocks[-1]
     assert last_gain <= first_gain, "paper: benefit saturates at large buffers"
+    # The sweep now drives the real bounded-memory tier: the smallest budget
+    # must actually thrash (evictions) and fault every probe re-read from the
+    # spill files, and a bigger buffer must fault no more than the smallest.
+    faults = result.series_by_label("buffer_faults").y
+    evictions = result.series_by_label("buffer_evictions").y
+    assert evictions[0] > 0, "smallest budget must evict under pressure"
+    assert faults[0] > 0, "cold sweep points must fault blocks in from disk"
+    assert faults[-1] <= faults[0], "a bigger buffer never faults more than the smallest"
+    assert evictions[-1] <= evictions[0], "a bigger buffer never evicts more than the smallest"

@@ -1,6 +1,6 @@
 """Whole-program static analysis for the repro codebase's invariants.
 
-Six checkers enforce contracts that the type system cannot.  They share a
+Seven checkers enforce contracts that the type system cannot.  They share a
 project-wide call graph (:class:`~repro.analysis.framework.ProjectGraph`)
 that resolves calls across files and computes fixpoint function summaries,
 so the rules reason interprocedurally rather than one file at a time:
@@ -26,6 +26,9 @@ so the rules reason interprocedurally rather than one file at a time:
   and cross-process payloads are frozen dataclasses (rules
   ``shmem-attached-write``, ``shmem-parent-state``,
   ``shmem-payload-frozen``).
+* **persist** — catalog mutations in ``repro.storage.persist`` go
+  through the transactional write path: no bare ``execute`` outside a
+  ``transaction()`` block (rule ``catalog-transaction``).
 
 Run ``python -m repro.analysis [paths...]`` (defaults to the installed
 ``repro`` package tree; ``--rules`` lists every rule, ``--format
@@ -42,7 +45,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from . import cache_keys, deltas, determinism, epoch, purity, shmem
+from . import cache_keys, deltas, determinism, epoch, persist, purity, shmem
 from .framework import (
     AnalysisContext,
     Checker,
@@ -60,6 +63,7 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     purity.CHECKER,
     deltas.CHECKER,
     shmem.CHECKER,
+    persist.CHECKER,
 )
 
 ALL_RULES: frozenset[str] = frozenset(

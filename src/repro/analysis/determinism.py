@@ -67,12 +67,17 @@ RULE_UNSEEDED = "unseeded-rng"
 #: ``repro.parallel`` is in scope because its results must stay
 #: bit-identical to the in-process engine; its one sanctioned wall-clock
 #: helper (reporting-only timings) carries a ``# repro: allow``.
+#: ``repro.storage.persist`` is in scope because a checkpoint/restore
+#: round trip must reproduce bit-identical fingerprints — any hidden
+#: randomness or unstable iteration in the spill/restore paths would
+#: diverge the reopened session from the original.
 SCOPE_PREFIXES = (
     "repro.exec",
     "repro.sim",
     "repro.adaptive",
     "repro.join",
     "repro.parallel",
+    "repro.storage.persist",
 )
 
 WALL_CLOCK_CALLS = frozenset(

@@ -1,0 +1,144 @@
+"""Catalog-transaction checker for the durable storage tier.
+
+The persistence catalog (:mod:`repro.storage.persist.catalog`) is the
+commit point of the spill-to-disk tier: crash consistency holds only
+because every catalog *mutation* is one atomic ``BEGIN IMMEDIATE`` ..
+``COMMIT`` span issued by ``PersistentCatalog.transaction()``.  A bare
+write ``execute`` outside that span autocommits immediately — a crash
+between two such writes would leave the catalog describing a state no
+checkpoint ever produced, which the recovery path cannot roll back.
+
+``catalog-transaction`` (error)
+    In ``repro.storage.persist``, every ``execute`` / ``executemany`` /
+    ``executescript`` call must be lexically inside a ``with
+    *.transaction(...)`` block, with three sanctioned exceptions decided
+    by the statement's *literal* SQL prefix:
+
+    * reads (``SELECT``) — always safe against the last committed state;
+    * ``PRAGMA`` — connection configuration, not catalog state;
+    * the transaction machinery itself (``BEGIN`` / ``COMMIT`` /
+      ``ROLLBACK``), which is what ``transaction()`` is made of.
+
+    A non-literal SQL argument gets no benefit of the doubt: it must run
+    inside a transaction block, because the checker cannot prove it is a
+    read.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import AnalysisContext, Checker, SourceFile, Violation
+
+RULE_TRANSACTION = "catalog-transaction"
+
+#: The cursor/connection methods that submit SQL.
+EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
+
+#: Literal SQL prefixes allowed outside a transaction block.
+SAFE_PREFIXES = ("SELECT", "PRAGMA", "BEGIN", "COMMIT", "ROLLBACK")
+
+SCOPE_PREFIX = "repro.storage.persist"
+
+
+def _literal_sql(call: ast.Call) -> str | None:
+    """The SQL string when the first argument is a literal, else ``None``."""
+    if call.args:
+        first = call.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+        if isinstance(first, ast.JoinedStr):
+            # An f-string's literal head still reveals the verb.
+            parts = []
+            for value in first.values:
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    parts.append(value.value)
+                else:
+                    break
+            return "".join(parts) if parts else None
+    return None
+
+
+def _is_safe_sql(sql: str) -> bool:
+    return sql.lstrip().upper().startswith(SAFE_PREFIXES)
+
+
+def _opens_transaction(item: ast.withitem) -> bool:
+    """Whether a with-item is a ``*.transaction(...)`` call."""
+    expr = item.context_expr
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "transaction"
+    )
+
+
+def _execute_calls(
+    node: ast.AST, in_transaction: bool
+) -> list[tuple[ast.Call, bool]]:
+    """Every ``.execute*`` call under ``node`` with its enclosing-with state."""
+    found: list[tuple[ast.Call, bool]] = []
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in EXECUTE_METHODS
+        ):
+            found.append((node, in_transaction))
+    inside = in_transaction
+    if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+        _opens_transaction(item) for item in node.items
+    ):
+        inside = True
+    for child in ast.iter_child_nodes(node):
+        found.extend(_execute_calls(child, inside))
+    return found
+
+
+def check(source: SourceFile, context: AnalysisContext) -> list[Violation]:
+    if not source.module.startswith(SCOPE_PREFIX):
+        return []
+    violations: list[Violation] = []
+    for call, in_transaction in _execute_calls(source.tree, False):
+        if in_transaction:
+            continue
+        sql = _literal_sql(call)
+        if sql is not None and _is_safe_sql(sql):
+            continue
+        assert isinstance(call.func, ast.Attribute)
+        described = (
+            f"{call.func.attr}({sql.lstrip().split(None, 1)[0]!r} ...)"
+            if sql
+            else f"{call.func.attr}(<non-literal SQL>)"
+        )
+        violations.append(
+            Violation(
+                rule=RULE_TRANSACTION,
+                path=source.path,
+                line=call.lineno,
+                message=(
+                    f"catalog mutation {described} outside the transactional "
+                    "write path"
+                ),
+                hint=(
+                    "run catalog writes on the cursor yielded by "
+                    "`with catalog.transaction() as cur:` so the update "
+                    "commits atomically; only literal SELECT/PRAGMA/"
+                    "BEGIN/COMMIT/ROLLBACK statements may run bare"
+                ),
+            )
+        )
+    return violations
+
+
+CHECKER = Checker(
+    name="persist",
+    rules=(RULE_TRANSACTION,),
+    check=check,
+    descriptions={
+        RULE_TRANSACTION: (
+            "catalog mutations in repro.storage.persist go through the "
+            "transactional write path (no bare execute outside a "
+            "transaction() block)"
+        ),
+    },
+)

@@ -58,7 +58,10 @@ TASK_CONSTRUCTORS = frozenset({"Task", "new_task"}) | PAYLOAD_CLASSES
 TAINT_METHODS = frozenset({"peek_block", "get_block", "get_blocks"})
 TAINT_CONSTRUCTORS = frozenset({"Block", "StoredTable"})
 
-SCOPE_PREFIXES = ("repro.exec", "repro.parallel")
+#: ``repro.storage.persist`` is in scope so that any future payload/task
+#: class in the durable tier obeys the same ids-and-flat-arrays
+#: discipline as the execution and parallel layers.
+SCOPE_PREFIXES = ("repro.exec", "repro.parallel", "repro.storage.persist")
 
 
 def _annotation_mentions_banned(annotation: ast.expr) -> str | None:

@@ -31,12 +31,23 @@ forces a fresh plan.
 Read statistics are scoped per execution: ``execute()`` resets the DFS and
 per-machine read counters before running, and ``plan()``/``lower()`` never
 touch them, so interleaved plan/run calls cannot skew locality accounting.
+
+Sessions configured with ``persistence="mmap"`` additionally own a durable
+storage tier (:mod:`repro.storage.persist`): blocks spill to memory-mapped
+files under ``config.storage_root``, reads route through a byte-budgeted
+LRU buffer, and :meth:`Session.checkpoint` / :meth:`Session.open` provide
+epoch-aware crash recovery — a reopened session resumes with its partition
+trees, epochs, delta chains, samples, RNG states and adaptation window
+intact, reproducing bit-identical query fingerprints.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -59,6 +70,7 @@ from ..partitioning.upfront import UpfrontPartitioner
 from ..sim.backend import SimBackend
 from ..storage.catalog import Catalog
 from ..storage.dfs import DistributedFileSystem
+from ..storage.persist import PersistenceManager
 from ..storage.table import ColumnTable, StoredTable
 from .backends import ExecutionBackend, SerialBackend, TaskBackend
 from .cache import CachedPlan, PlanCache, query_signature
@@ -78,6 +90,10 @@ class Session:
 
     config: AdaptDBConfig = field(default_factory=AdaptDBConfig)
     backend: str | ExecutionBackend | None = None
+    #: Internal: a pre-opened manager holding a checkpoint to restore from;
+    #: set only by :meth:`Session.open`.
+    _restore_manager: PersistenceManager | None = field(default=None, repr=False)
+    persist: PersistenceManager | None = field(init=False, default=None)
     rng: np.random.Generator = field(init=False)
     cluster: Cluster = field(init=False)
     dfs: DistributedFileSystem = field(init=False)
@@ -146,6 +162,102 @@ class Session:
         }
         self.use_backend(self.backend if self.backend is not None
                          else self.config.execution_backend)
+        if self.config.persistence == "mmap":
+            if self._restore_manager is not None:
+                # Session.open: adopt the pre-opened root and rebuild the
+                # checkpointed partition state into the fresh wiring above
+                # (restore() attaches the buffer/store hooks itself, last).
+                self.persist = self._restore_manager
+                self.persist.restore(self)
+            else:
+                self.persist = PersistenceManager.create(
+                    self._resolve_storage_root(),
+                    self.config.num_machines,
+                    self.config.buffer_bytes,
+                )
+                self.persist.attach(self.dfs)
+
+    def _resolve_storage_root(self) -> Path:
+        """Pick the storage root of a fresh mmap session.
+
+        An explicit ``config.storage_root`` is used verbatim (that is what
+        makes it reopenable at a known location).  Otherwise a unique
+        directory is created — under ``$REPRO_STORAGE_ROOT`` when set (the
+        CI persistence job points this at a tmpdir shared by the whole
+        suite), else under the system temp dir.  A generated root is *not*
+        written back to the config: configs are shareable between sessions
+        (two sessions built from one config must not collide on a root),
+        and :meth:`storage_root` exposes the resolved path.
+        """
+        if self.config.storage_root is not None:
+            return Path(self.config.storage_root)
+        parent = os.environ.get("REPRO_STORAGE_ROOT") or None
+        if parent is not None:
+            Path(parent).mkdir(parents=True, exist_ok=True)
+        return Path(tempfile.mkdtemp(prefix="repro-storage-", dir=parent))
+
+    # ------------------------------------------------------------------ #
+    # Durability: checkpoint / reopen
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        storage_root: str | Path,
+        backend: str | ExecutionBackend | None = None,
+    ) -> "Session":
+        """Reopen a checkpointed storage root as a new session.
+
+        The session is rebuilt from the last committed checkpoint: tables
+        come back at their exact partition-state epochs with their trees,
+        delta chains, samples, statistics and placement; RNG states and the
+        adaptation window resume where :meth:`checkpoint` captured them.
+        Blocks start *cold* — their columns fault in through the block
+        buffer on first read.  Spill files a crashed writer stranded after
+        the last commit are garbage-collected here, and a pending SQLite WAL
+        is replayed by opening the catalog.
+
+        Args:
+            storage_root: Root directory a previous session checkpointed.
+            backend: Optional execution-backend override; ``None`` follows
+                the checkpointed config.
+        """
+        manager = PersistenceManager.open(Path(storage_root))
+        try:
+            payload = manager.stored_config_payload()
+            payload["storage_root"] = str(Path(storage_root))
+            config = AdaptDBConfig(**payload)
+            return cls(config=config, backend=backend, _restore_manager=manager)
+        except BaseException:
+            manager.close()
+            raise
+
+    def checkpoint(self) -> dict[str, int]:
+        """Commit the session's full partition state to the storage root.
+
+        Dirty blocks are spilled first; then one catalog transaction
+        records all metadata.  A crash before the commit leaves the previous
+        checkpoint intact (the stranded spill files are collected on the
+        next :meth:`open`).  Returns ``{"blocks_spilled": ...,
+        "versions_removed": ...}``.
+
+        Raises:
+            StorageError: on a session without ``persistence="mmap"``.
+        """
+        if self.persist is None:
+            raise StorageError(
+                "checkpoint() requires a session with persistence='mmap'"
+            )
+        return self.persist.checkpoint(self)
+
+    @property
+    def storage_root(self) -> Path | None:
+        """The durable tier's root directory (``None`` on memory sessions).
+
+        This is the path :meth:`open` reopens — either the explicit
+        ``config.storage_root`` or the unique directory a fresh mmap
+        session generated.
+        """
+        return self.persist.root if self.persist is not None else None
 
     # ------------------------------------------------------------------ #
     # Backend selection
@@ -413,6 +525,10 @@ class Session:
         result = self._active_backend().execute(physical)
         result.planning_seconds = physical.logical.planning_seconds
         result.plan_cache_hit = physical.logical.from_cache
+        stats = self.dfs.read_stats
+        result.buffer_hits = stats.buffer_hits
+        result.buffer_faults = stats.buffer_faults
+        result.buffer_evictions = stats.buffer_evictions
         return result
 
     # ------------------------------------------------------------------ #
@@ -430,16 +546,20 @@ class Session:
     # Teardown
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release cross-process resources (worker pool, pinned segments).
+        """Release cross-process resources (worker pool, pinned segments)
+        and the persistence tier's catalog connection, if any.
 
-        Only the parallel backend holds any; closing is idempotent and a
-        closed session remains usable through the in-process backends (the
-        parallel backend restarts its pool lazily if selected again).
+        Closing is idempotent and a closed session remains usable through
+        the in-process backends (the parallel backend restarts its pool
+        lazily if selected again); only checkpoint/reopen requires the
+        catalog connection.
         """
         for backend in self.backends.values():
             closer = getattr(backend, "close", None)
             if callable(closer):
                 closer()
+        if self.persist is not None:
+            self.persist.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -7,6 +7,7 @@ introduced by the reproduction (rows per block instead of 64 MB, etc.).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..common.errors import PlanningError
@@ -77,6 +78,20 @@ class AdaptDBConfig:
             ``repro.parallel.calibrate`` (read from ``BENCH_adaptation.json``
             when available), so modelled runtimes track this host's measured
             multi-core execution.
+        persistence: ``"memory"`` (default; blocks live purely in RAM) or
+            ``"mmap"`` — blocks spill to memory-mapped per-column files
+            under ``storage_root``, all reads route through a byte-budgeted
+            LRU buffer, and ``Session.checkpoint()`` / ``Session.open()``
+            provide epoch-aware crash recovery.  The default can be
+            overridden with the ``REPRO_PERSISTENCE`` environment variable
+            (an explicit constructor argument always wins).
+        storage_root: Directory holding the spill files and catalog of an
+            ``"mmap"`` session.  ``None`` lets the session create a unique
+            temporary root (under ``REPRO_STORAGE_ROOT`` when that is set).
+        buffer_bytes: Byte budget of the block buffer; ``None`` means
+            unbounded (blocks spill only at checkpoints).  Only meaningful
+            with ``persistence="mmap"``.  When unset, ``REPRO_BUFFER_BYTES``
+            supplies a default for mmap sessions.
     """
 
     num_machines: int = 10
@@ -104,8 +119,26 @@ class AdaptDBConfig:
     incremental_planning: bool = True
     delta_chain_limit: int = 64
     calibrated_cost_model: bool = False
+    persistence: str = ""
+    storage_root: str | None = None
+    buffer_bytes: int | None = None
 
     def __post_init__(self) -> None:
+        # Resolve the persistence knobs against the environment first: an
+        # empty persistence field means "unset", which REPRO_PERSISTENCE may
+        # default (the CI persistence job runs the whole tier-1 suite this
+        # way); an explicit constructor argument always wins.  The resolved
+        # values are written back so a checkpointed config round-trips.
+        if not self.persistence:
+            self.persistence = os.environ.get("REPRO_PERSISTENCE", "") or "memory"
+        if (
+            self.buffer_bytes is None
+            and self.persistence == "mmap"
+            and os.environ.get("REPRO_BUFFER_BYTES", "")
+        ):
+            env_budget = int(os.environ["REPRO_BUFFER_BYTES"])
+            # REPRO_BUFFER_BYTES=0 means explicitly unbounded.
+            self.buffer_bytes = env_budget if env_budget > 0 else None
         if self.rows_per_block <= 0:
             raise PlanningError("rows_per_block must be positive")
         if self.buffer_blocks < 1:
@@ -133,3 +166,16 @@ class AdaptDBConfig:
             raise PlanningError("plan_cache_size must be non-negative")
         if self.delta_chain_limit < 1:
             raise PlanningError("delta_chain_limit must be at least 1")
+        if self.persistence not in ("memory", "mmap"):
+            raise PlanningError("persistence must be 'memory' or 'mmap'")
+        if self.persistence == "memory":
+            if self.storage_root is not None:
+                raise PlanningError(
+                    "storage_root is only meaningful with persistence='mmap'"
+                )
+            if self.buffer_bytes is not None:
+                raise PlanningError(
+                    "buffer_bytes is only meaningful with persistence='mmap'"
+                )
+        if self.buffer_bytes is not None and self.buffer_bytes < 1:
+            raise PlanningError("buffer_bytes must be at least 1 (or None)")

@@ -52,6 +52,14 @@ class QueryResult:
         machine_wall_seconds: Measured wall-clock task time per machine
             (index = machine id), populated only by the parallel backend.
             Also excluded from :meth:`fingerprint`.
+        buffer_hits: Block-buffer hits during this execution (persistent
+            sessions only; zero for in-memory sessions).  Excluded from
+            :meth:`fingerprint` — buffer behaviour must never change
+            answers or plans, only where bytes were read from.
+        buffer_faults: Spilled blocks materialized from disk during this
+            execution.  Excluded from :meth:`fingerprint`.
+        buffer_evictions: Blocks evicted from the buffer during this
+            execution.  Excluded from :meth:`fingerprint`.
     """
 
     query: Query
@@ -76,6 +84,9 @@ class QueryResult:
     sim_machine_busy_seconds: list[float] = field(default_factory=list)
     wall_seconds: float = 0.0
     machine_wall_seconds: list[float] = field(default_factory=list)
+    buffer_hits: int = 0
+    buffer_faults: int = 0
+    buffer_evictions: int = 0
 
     def fingerprint(self) -> tuple:
         """Stable digest of every decision-dependent field of the result.
@@ -84,9 +95,11 @@ class QueryResult:
         must produce equal fingerprints — the plan-cache tests and the
         adaptation benchmark compare cached vs. cold runs through this.
         Wall-clock measurements (``planning_seconds``, ``wall_seconds``,
-        ``machine_wall_seconds``) and cache provenance (``plan_cache_hit``)
-        are deliberately excluded, which is what lets the parallel backend
-        produce fingerprints bit-identical to the task backend.
+        ``machine_wall_seconds``), cache provenance (``plan_cache_hit``) and
+        buffer traffic (``buffer_hits`` / ``buffer_faults`` /
+        ``buffer_evictions``) are deliberately excluded, which is what lets
+        the parallel backend — and the mmap persistence tier — produce
+        fingerprints bit-identical to the in-memory task backend.
         """
         return (
             self.output_rows,

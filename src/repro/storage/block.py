@@ -12,9 +12,21 @@ min/max ranges and row/byte counters incrementally — O(appended rows)
 instead of O(block rows).  The chunks are consolidated into contiguous
 arrays lazily, on the first columnar read, mirroring an LSM-style write path
 with deferred compaction.
+
+Under the persistence tier a block can additionally be **unloaded**: its
+consolidated columns are dropped (``_columns is None``) and fault back in
+through a bound loader on the next columnar read.  Metadata — ranges,
+``size_bytes``, ``num_rows`` — always stays resident, so planning peeks and
+pruning never touch disk.  Appends to an unloaded block land on the chunk
+list without faulting; the on-disk prefix is only read when something
+actually consumes the rows.  ``dirty`` tracks whether the in-memory state
+has diverged from the newest spill — only clean blocks may drop their
+columns, dirty ones are written back first.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
@@ -48,7 +60,10 @@ class Block:
         size_bytes: Approximate size of the block, also incremental.
     """
 
-    __slots__ = ("block_id", "table", "ranges", "size_bytes", "_columns", "_chunks", "_num_rows")
+    __slots__ = (
+        "block_id", "table", "ranges", "size_bytes",
+        "_columns", "_chunks", "_num_rows", "_loader", "dirty",
+    )
 
     def __init__(
         self,
@@ -60,11 +75,41 @@ class Block:
     ) -> None:
         self.block_id = block_id
         self.table = table
-        self._columns = dict(columns)
+        self._columns: dict[str, np.ndarray] | None = dict(columns)
         self._chunks: list[dict[str, np.ndarray]] = []
         self._num_rows = _chunk_rows(self._columns, block_id)
         self.ranges = ranges if ranges else compute_ranges(self._columns)
         self.size_bytes = size_bytes if size_bytes else _estimate_bytes(self._columns)
+        #: Faults the newest spilled version back in; bound by the buffer.
+        self._loader: Callable[[], dict[str, np.ndarray]] | None = None
+        #: Whether in-memory state has diverged from the newest spill.
+        self.dirty = True
+
+    @classmethod
+    def restore(
+        cls,
+        block_id: int,
+        table: str,
+        ranges: dict[str, tuple[float, float]],
+        size_bytes: int,
+        num_rows: int,
+    ) -> "Block":
+        """Rebuild a *cold* block from checkpointed metadata.
+
+        The block starts unloaded and clean; its columns fault in through
+        the loader the restore path binds right after construction.
+        """
+        block = cls(
+            block_id=block_id,
+            table=table,
+            columns={},
+            ranges=dict(ranges),
+            size_bytes=size_bytes,
+        )
+        block._columns = None
+        block._num_rows = num_rows
+        block.dirty = False
+        return block
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -76,9 +121,16 @@ class Block:
 
     @property
     def columns(self) -> dict[str, np.ndarray]:
-        """Column name -> contiguous value array (consolidates pending chunks)."""
+        """Column name -> contiguous value array.
+
+        Faults an unloaded block's columns back in through the bound loader,
+        then consolidates pending chunks.
+        """
+        if self._columns is None:
+            self._fault()
         if self._chunks:
             self.consolidate()
+        assert self._columns is not None
         return self._columns
 
     @property
@@ -87,9 +139,14 @@ class Block:
         return len(self._chunks)
 
     @property
+    def is_resident(self) -> bool:
+        """Whether the consolidated columns are currently in memory."""
+        return self._columns is not None
+
+    @property
     def column_names(self) -> list[str]:
-        """Names of the stored columns."""
-        return list(self._columns)
+        """Names of the stored columns (faults if unloaded)."""
+        return list(self.columns)
 
     def range_of(self, column: str) -> tuple[float, float]:
         """Return the (min, max) of ``column`` over the block's rows.
@@ -150,6 +207,7 @@ class Block:
             if added == 0:
                 return 0
         self._chunks.append(rows)
+        self.dirty = True
         self._num_rows += added
         self.size_bytes += _estimate_bytes(rows)
         ranges = self.ranges
@@ -177,6 +235,7 @@ class Block:
         self._num_rows = _chunk_rows(self._columns, self.block_id)
         self.ranges = compute_ranges(self._columns)
         self.size_bytes = _estimate_bytes(self._columns)
+        self.dirty = True
 
     def clear(self, empty_columns: dict[str, np.ndarray]) -> None:
         """Empty the block in place (its rows have been migrated elsewhere)."""
@@ -185,16 +244,20 @@ class Block:
         self._num_rows = 0
         self.ranges = {}
         self.size_bytes = 0
+        self.dirty = True
 
     def consolidate(self) -> None:
         """Merge pending chunks into contiguous per-column arrays.
 
         Row order is preserved: the original contents first, then every chunk
         in append order.  ``size_bytes`` is re-derived from the consolidated
-        arrays so dtype promotions cannot leave it stale.
+        arrays so dtype promotions cannot leave it stale.  An unloaded block
+        faults its on-disk prefix in first — it comes before the chunks.
         """
         if not self._chunks:
             return
+        if self._columns is None:
+            self._fault()
         chunks, self._chunks = self._chunks, []
         if self._columns and len(next(iter(self._columns.values()))):
             names = list(self._columns)
@@ -218,11 +281,51 @@ class Block:
         """
         if self._num_rows == 0:
             return []
+        if self._columns is None:
+            self._fault()
         parts: list[dict[str, np.ndarray]] = []
         if self._columns and len(next(iter(self._columns.values()))):
             parts.append(self._columns)
         parts.extend(self._chunks)
         return parts
+
+    # ------------------------------------------------------------------ #
+    # Persistence protocol (spill store / block buffer)
+    # ------------------------------------------------------------------ #
+    def set_loader(self, loader: Callable[[], dict[str, np.ndarray]] | None) -> None:
+        """Install the fault source for this block's spilled columns."""
+        self._loader = loader
+
+    def mark_clean(self, loader: Callable[[], dict[str, np.ndarray]]) -> None:
+        """Record that the in-memory state was just spilled as ``loader``'s
+        version; the block may now drop its columns via :meth:`unload`."""
+        self.dirty = False
+        self._loader = loader
+
+    def unload(self) -> None:
+        """Drop the in-memory columns of a clean block (metadata stays).
+
+        Raises:
+            StorageError: if the block is dirty, has pending chunks, or has
+                no loader to fault the columns back in from.
+        """
+        if self.dirty or self._chunks:
+            raise StorageError(
+                f"block {self.block_id} has unspilled changes and cannot be unloaded"
+            )
+        if self._loader is None:
+            raise StorageError(
+                f"block {self.block_id} has no spill loader and cannot be unloaded"
+            )
+        self._columns = None
+
+    def _fault(self) -> None:
+        """Materialize the consolidated columns from the bound loader."""
+        if self._loader is None:
+            raise StorageError(
+                f"block {self.block_id} is unloaded and has no loader to fault from"
+            )
+        self._columns = dict(self._loader())
 
     # ------------------------------------------------------------------ #
     # Row access

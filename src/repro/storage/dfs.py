@@ -8,7 +8,7 @@ reads flow so that locality and I/O statistics can be accounted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -18,15 +18,27 @@ from ..common.rng import make_rng
 from ..cluster.cluster import Cluster
 from .block import Block
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .persist.buffer import BlockBuffer
+    from .persist.store import PersistentBlockStore
+
 DEFAULT_REPLICATION = 3
 
 
 @dataclass
 class ReadStats:
-    """Accumulated read statistics since the last reset."""
+    """Accumulated read statistics since the last reset.
+
+    The three ``buffer_*`` counters stay zero for purely in-memory sessions;
+    under ``persistence="mmap"`` the block buffer mirrors its events here so
+    every execution reports its own hit/fault/eviction traffic.
+    """
 
     local_reads: int = 0
     remote_reads: int = 0
+    buffer_hits: int = 0
+    buffer_faults: int = 0
+    buffer_evictions: int = 0
 
     @property
     def total_reads(self) -> int:
@@ -59,6 +71,11 @@ class DistributedFileSystem:
     _table_blocks: dict[str, set[int]] = field(default_factory=dict, repr=False)
     _next_block_id: int = 0
     read_stats: ReadStats = field(default_factory=ReadStats)
+    #: Persistence hooks — ``None`` for in-memory sessions; attached by the
+    #: PersistenceManager.  The buffer accounts reads/faults/evictions, the
+    #: store tracks which machine directory each block spills to.
+    buffer: "BlockBuffer | None" = field(default=None, repr=False)
+    block_store: "PersistentBlockStore | None" = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     # Block lifecycle
@@ -71,23 +88,37 @@ class DistributedFileSystem:
         return block_id
 
     @mutates_partition_state
-    def put_block(self, block: Block) -> int:
+    def put_block(self, block: Block, machine_ids: Sequence[int] | None = None) -> int:
         """Store ``block`` and place its replicas on machines.
+
+        Args:
+            block: The block to store.
+            machine_ids: Explicit replica placement — the restore path passes
+                the checkpointed placement so a reopened session reproduces
+                the exact locality the original had.  ``None`` (the normal
+                path) draws a fresh placement from the DFS RNG.
 
         Returns:
             The block id.
         """
         if block.block_id in self._blocks:
             raise StorageError(f"block {block.block_id} already exists")
-        replicas = min(self.replication, self.cluster.num_machines)
-        machine_ids = list(
-            self.rng.choice(self.cluster.num_machines, size=replicas, replace=False)
-        )
+        if machine_ids is None:
+            replicas = min(self.replication, self.cluster.num_machines)
+            machine_ids = list(
+                self.rng.choice(self.cluster.num_machines, size=replicas, replace=False)
+            )
+        placement = [int(m) for m in machine_ids]
         self._blocks[block.block_id] = block
-        self._placement[block.block_id] = [int(m) for m in machine_ids]
+        self._placement[block.block_id] = placement
         self._table_blocks.setdefault(block.table, set()).add(block.block_id)
-        for machine_id in machine_ids:
-            self.cluster.machine(int(machine_id)).stored_blocks.add(block.block_id)
+        for machine_id in placement:
+            self.cluster.machine(machine_id).stored_blocks.add(block.block_id)
+        if self.block_store is not None:
+            # New blocks spill under their primary replica's machine dir.
+            self.block_store.register_block(block.block_id, placement[0])
+        if self.buffer is not None and block.is_resident:
+            self.buffer.admit(block)
         return block.block_id
 
     @mutates_partition_state
@@ -106,6 +137,25 @@ class DistributedFileSystem:
             self.cluster.machine(machine_id).stored_blocks.discard(block_id)
         self._table_blocks[self._blocks[block_id].table].discard(block_id)
         del self._blocks[block_id]
+        if self.buffer is not None:
+            self.buffer.discard(block_id)
+        if self.block_store is not None:
+            self.block_store.forget_block(block_id)
+
+    @mutates_partition_state
+    def restore_block_counter(self, next_block_id: int) -> None:
+        """Resume id allocation where a checkpointed session left off."""
+        if next_block_id < self._next_block_id:
+            raise StorageError(
+                f"cannot rewind block id counter from {self._next_block_id} "
+                f"to {next_block_id}"
+            )
+        self._next_block_id = next_block_id
+
+    @property
+    def next_block_id(self) -> int:
+        """The id the next allocation will hand out (checkpoint metadata)."""
+        return self._next_block_id
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -127,6 +177,10 @@ class DistributedFileSystem:
             self.read_stats.local_reads += 1
         else:
             self.read_stats.remote_reads += 1
+        if self.buffer is not None:
+            # Resident blocks count a hit and refresh recency; spilled blocks
+            # fault lazily (and are then accounted) on first column access.
+            self.buffer.touch(block)
         return block
 
     def get_blocks(
@@ -146,7 +200,15 @@ class DistributedFileSystem:
         return [self.get_block(block_id, reader_machine) for block_id in block_ids]
 
     def peek_block(self, block_id: int) -> Block:
-        """Return a block without recording a read (metadata access)."""
+        """Return a block without recording a read (metadata access).
+
+        Diagnostic peeks bypass the persistence tier entirely: no read is
+        accounted, no buffer hit is counted and the block's recency is not
+        refreshed, so planning probes and statistics audits cannot perturb
+        eviction order.  (If a peek caller then reads a *spilled* block's
+        column data, the lazy fault still charges the materialization — the
+        bypass covers the peek, not the data it may pull in.)
+        """
         try:
             return self._blocks[block_id]
         except KeyError:

@@ -1,0 +1,238 @@
+"""Memory-mapped spill files: one directory per simulated machine.
+
+Layout under the storage root::
+
+    catalog.sqlite
+    machine-00/
+        block-000017-v3/
+            meta.json          # num_rows + [name, dtype, length] per column
+            l_orderkey.bin     # raw little-endian column bytes
+            ...
+    machine-01/
+        ...
+
+A block's files live under its *primary replica's* machine directory (the
+first entry of its DFS placement), mirroring the paper's HDFS substrate
+where a block has a home node.  Spills are **versioned**: every spill of a
+block writes a fresh ``block-<id>-v<n>`` directory (staged under a ``.tmp``
+name and renamed into place, so a half-written version is never picked up),
+and the version the catalog references only advances when a checkpoint
+commits.  Between checkpoints the *live* version (what an eviction wrote)
+and the *durable* version (what the catalog references) may differ; a crash
+simply strands the live version, and :meth:`PersistentBlockStore.gc`
+removes every directory the catalog does not reference on the next open.
+
+Faulting a column back in returns a read-only ``np.memmap`` view — pages
+stream in on demand and the OS may reclaim them under pressure, which is
+what lets a working set larger than the buffer budget (or than RAM)
+execute at all.  Read-only is deliberate: block contents may only change
+through the epoch-bumped mutation paths, which replace arrays rather than
+writing them in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from ...common.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..block import Block
+
+_VERSION_DIR = re.compile(r"^block-(\d+)-v(\d+)$")
+
+
+def _machine_dir(root: Path, machine_id: int) -> Path:
+    return root / f"machine-{machine_id:02d}"
+
+
+def _version_dir(root: Path, machine_id: int, block_id: int, version: int) -> Path:
+    return _machine_dir(root, machine_id) / f"block-{block_id:06d}-v{version}"
+
+
+class PersistentBlockStore:
+    """Writes and faults per-column spill files for one storage root."""
+
+    def __init__(self, root: Path, num_machines: int) -> None:
+        self.root = Path(root)
+        self.num_machines = num_machines
+        for machine_id in range(num_machines):
+            _machine_dir(self.root, machine_id).mkdir(parents=True, exist_ok=True)
+        #: block id -> machine directory holding its files.
+        self._machine: dict[int, int] = {}
+        #: block id -> newest version written to disk (0 = never spilled).
+        self._live: dict[int, int] = {}
+        #: block id -> version the catalog currently references.
+        self._durable: dict[int, int] = {}
+        #: Lifetime spill counters (bytes include only column payloads).
+        self.spills = 0
+        self.spilled_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register_block(self, block_id: int, machine_id: int) -> None:
+        """Track a freshly created block (nothing is written yet)."""
+        self._machine[block_id] = machine_id
+        self._live.setdefault(block_id, 0)
+
+    def adopt_block(self, block_id: int, machine_id: int, version: int) -> None:
+        """Track a block restored from the catalog (its files already exist)."""
+        self._machine[block_id] = machine_id
+        self._live[block_id] = version
+        self._durable[block_id] = version
+
+    def forget_block(self, block_id: int) -> None:
+        """Stop tracking a deleted block and remove its *undurable* spill files.
+
+        The version the catalog still references is deliberately kept: until
+        the next checkpoint commits, a crash must be able to roll back to
+        the previous catalog state — which includes this block.  The next
+        post-commit :meth:`gc` (whose durable map no longer contains the
+        block) removes the retained directory.
+        """
+        self._live.pop(block_id, None)
+        machine_id = self._machine.get(block_id)
+        durable = self._durable.get(block_id)
+        if machine_id is None:
+            return
+        machine_dir = _machine_dir(self.root, machine_id)
+        prefix = f"block-{block_id:06d}-v"
+        keep_name = f"block-{block_id:06d}-v{durable}" if durable else None
+        for entry in sorted(os.listdir(machine_dir)):
+            if entry.startswith(prefix) and entry != keep_name:
+                shutil.rmtree(machine_dir / entry, ignore_errors=True)
+        if durable is None:
+            self._machine.pop(block_id, None)
+
+    def machine_of(self, block_id: int) -> int:
+        """Machine directory a block spills to."""
+        try:
+            return self._machine[block_id]
+        except KeyError:
+            raise StorageError(f"block {block_id} is not registered with the store") from None
+
+    def live_version(self, block_id: int) -> int:
+        """Newest on-disk version of a block (0 when never spilled)."""
+        return self._live.get(block_id, 0)
+
+    # ------------------------------------------------------------------ #
+    # Spilling
+    # ------------------------------------------------------------------ #
+    def spill(self, block: "Block") -> Callable[[], dict[str, np.ndarray]]:
+        """Write ``block``'s consolidated columns as a new version on disk.
+
+        Returns the loader for the freshly written version and marks the
+        block clean with it.  The write is staged under a ``.tmp`` directory
+        and renamed into place so a crash mid-write never produces a
+        directory the fault path could pick up.
+        """
+        machine_id = self.machine_of(block.block_id)
+        version = self._live.get(block.block_id, 0) + 1
+        final_dir = _version_dir(self.root, machine_id, block.block_id, version)
+        staging_dir = final_dir.with_name(final_dir.name + ".tmp")
+        if staging_dir.exists():
+            shutil.rmtree(staging_dir)
+        staging_dir.mkdir(parents=True)
+
+        columns = block.columns  # consolidates pending chunks
+        meta_columns: list[list[Any]] = []
+        payload_bytes = 0
+        for name, array in columns.items():
+            contiguous = np.ascontiguousarray(array)
+            meta_columns.append([name, contiguous.dtype.str, len(contiguous)])
+            if len(contiguous):
+                (staging_dir / f"{name}.bin").write_bytes(contiguous.tobytes())
+                payload_bytes += contiguous.nbytes
+        meta = {"num_rows": block.num_rows, "columns": meta_columns}
+        (staging_dir / "meta.json").write_text(json.dumps(meta))
+        os.replace(staging_dir, final_dir)
+
+        self._live[block.block_id] = version
+        self.spills += 1
+        self.spilled_bytes += payload_bytes
+        loader = self.loader(block.block_id, version)
+        block.mark_clean(loader)
+        return loader
+
+    def loader(self, block_id: int, version: int) -> Callable[[], dict[str, np.ndarray]]:
+        """A closure faulting one on-disk version back in as read-only memmaps."""
+        directory = _version_dir(self.root, self.machine_of(block_id), block_id, version)
+
+        def fault() -> dict[str, np.ndarray]:
+            try:
+                meta = json.loads((directory / "meta.json").read_text())
+            except FileNotFoundError:
+                raise StorageError(
+                    f"spill files for block {block_id} v{version} are missing "
+                    f"under {str(directory)!r}"
+                ) from None
+            columns: dict[str, np.ndarray] = {}
+            for name, dtype_str, length in meta["columns"]:
+                dtype = np.dtype(dtype_str)
+                if length == 0:
+                    columns[name] = np.empty(0, dtype=dtype)
+                else:
+                    columns[name] = np.memmap(
+                        directory / f"{name}.bin", dtype=dtype, mode="r", shape=(length,)
+                    )
+            return columns
+
+        return fault
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint bookkeeping and garbage collection
+    # ------------------------------------------------------------------ #
+    def mark_durable(self) -> dict[int, int]:
+        """Promote every live version to durable (the catalog just committed).
+
+        Returns the block id -> version map the caller recorded.
+        """
+        self._durable = dict(self._live)
+        return dict(self._durable)
+
+    def gc(self) -> int:
+        """Remove every version directory the durable map does not reference.
+
+        Called after a successful checkpoint (dropping superseded versions)
+        and on open (dropping versions stranded by a crash between spilling
+        and the catalog commit).  Returns the number of directories removed.
+        """
+        removed = 0
+        for machine_id in range(self.num_machines):
+            machine_dir = _machine_dir(self.root, machine_id)
+            if not machine_dir.is_dir():
+                continue
+            for entry in sorted(os.listdir(machine_dir)):
+                match = _VERSION_DIR.match(entry.removesuffix(".tmp"))
+                if match is None:
+                    continue
+                block_id, version = int(match.group(1)), int(match.group(2))
+                keep = (
+                    not entry.endswith(".tmp")
+                    and self._durable.get(block_id) == version
+                    and self._machine.get(block_id) == machine_id
+                )
+                if not keep:
+                    shutil.rmtree(machine_dir / entry, ignore_errors=True)
+                    removed += 1
+        # Live state follows the disk: after a GC only durable versions remain
+        # (plus registered-but-never-spilled blocks, which own no files).
+        # Machine entries kept solely for a deleted block's retained durable
+        # directory are dropped along with it.
+        self._machine = {
+            block_id: machine_id
+            for block_id, machine_id in self._machine.items()
+            if block_id in self._live or block_id in self._durable
+        }
+        self._live = {
+            block_id: self._durable.get(block_id, 0) for block_id in self._live
+        } | dict(self._durable)
+        return removed

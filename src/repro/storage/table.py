@@ -251,6 +251,20 @@ class StoredTable:
         if snapshot is not None:
             snapshot.verify(self, incoming)
 
+    def arm_sanitize_snapshot(self) -> None:
+        """Snapshot the current state as the sanitizer baseline (restore path).
+
+        A restored table has no pending bump, but under ``REPRO_SANITIZE=1``
+        the *next* bump should still be cross-checked against the state the
+        checkpoint reinstated — so restore arms an empty-delta snapshot,
+        making change descriptors verified across a restart exactly as they
+        are within one process.  A no-op when the sanitizer is off.
+        """
+        if sanitize_enabled():
+            self._sanitize_snapshot = PartitionStateSnapshot.capture(
+                self, PartitionDelta()
+            )
+
     def delta_between(self, start_epoch: int, end_epoch: int) -> PartitionDelta | None:
         """Merged change descriptor covering ``(start_epoch, end_epoch]``.
 

@@ -750,6 +750,109 @@ class ScanPayload:
 
 
 # --------------------------------------------------------------------- #
+# catalog-transaction
+# --------------------------------------------------------------------- #
+class TestCatalogTransaction:
+    def test_bare_write_execute_fires(self):
+        violations = analyze_source(
+            """
+def save(conn):
+    conn.execute("INSERT INTO meta VALUES (?, ?)", ("k", "v"))
+""",
+            module="repro.storage.persist.snippet",
+        )
+        assert rules_of(violations) == {"catalog-transaction"}
+
+    def test_write_inside_transaction_block_is_quiet(self):
+        assert (
+            analyze_source(
+                """
+def save(catalog):
+    with catalog.transaction() as cur:
+        cur.execute("INSERT INTO meta VALUES (?, ?)", ("k", "v"))
+        cur.executemany("DELETE FROM blocks WHERE block_id = ?", [(1,)])
+""",
+                module="repro.storage.persist.snippet",
+            )
+            == []
+        )
+
+    def test_literal_reads_and_pragmas_are_quiet(self):
+        assert (
+            analyze_source(
+                """
+def read(conn):
+    conn.execute("PRAGMA journal_mode=WAL")
+    return conn.execute("SELECT value FROM meta WHERE key = ?", ("k",)).fetchone()
+""",
+                module="repro.storage.persist.snippet",
+            )
+            == []
+        )
+
+    def test_transaction_machinery_statements_are_quiet(self):
+        assert (
+            analyze_source(
+                """
+def transaction(conn):
+    conn.execute("BEGIN IMMEDIATE")
+    conn.execute("COMMIT")
+    conn.execute("ROLLBACK")
+""",
+                module="repro.storage.persist.snippet",
+            )
+            == []
+        )
+
+    def test_non_literal_sql_outside_transaction_fires(self):
+        violations = analyze_source(
+            """
+def replay(conn, statements):
+    for statement in statements:
+        conn.execute(statement)
+""",
+            module="repro.storage.persist.snippet",
+        )
+        assert rules_of(violations) == {"catalog-transaction"}
+
+    def test_non_literal_sql_inside_transaction_is_quiet(self):
+        assert (
+            analyze_source(
+                """
+def replay(catalog, statements):
+    with catalog.transaction() as cur:
+        for statement in statements:
+            cur.execute(statement)
+""",
+                module="repro.storage.persist.snippet",
+            )
+            == []
+        )
+
+    def test_mutating_fstring_outside_transaction_fires(self):
+        violations = analyze_source(
+            """
+def drop(conn, table):
+    conn.execute(f"DELETE FROM {table}")
+""",
+            module="repro.storage.persist.snippet",
+        )
+        assert rules_of(violations) == {"catalog-transaction"}
+
+    def test_rule_is_scoped_to_the_persist_package(self):
+        assert (
+            analyze_source(
+                """
+def save(conn):
+    conn.execute("INSERT INTO t VALUES (1)")
+""",
+                module="repro.workloads.snippet",
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
 # cross-file whole-program analysis
 # --------------------------------------------------------------------- #
 class TestCrossFileAnalysis:
